@@ -1,0 +1,77 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the knobs its design rests on: the OSCA
+size heuristic (Section III-C4 "we use a heuristic ... 64 counters"), the
+S-IQ/IQ split of the scheduling budget, and the data-buffer size.
+"""
+
+import dataclasses
+
+from repro.common.params import DISAMBIG_NOLQ, make_casino_config
+from repro.common.stats import geomean
+
+
+def _perf(runner, profiles, cfg):
+    return geomean(runner.run(cfg, p).ipc for p in profiles)
+
+
+def test_osca_size_ablation(benchmark, runner, profiles):
+    """Larger OSCAs filter more searches (fewer aliases); 64 already gets
+    most of the benefit — the paper's heuristic design point."""
+    base = make_casino_config()
+
+    def run():
+        out = {}
+        for entries in (8, 64, 512):
+            cfg = dataclasses.replace(base, name=f"osca{entries}",
+                                      osca_entries=entries)
+            searches = sum(runner.run(cfg, p).stats.get("sq_searches")
+                           for p in profiles)
+            skips = sum(runner.run(cfg, p).stats.get("osca_search_skips")
+                        for p in profiles)
+            out[entries] = (searches, skips)
+        nolq = dataclasses.replace(base, name="no-osca",
+                                   disambiguation=DISAMBIG_NOLQ)
+        out["off"] = (sum(runner.run(nolq, p).stats.get("sq_searches")
+                          for p in profiles), 0)
+        return out
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Any OSCA beats none; more counters filter at least as well.
+    assert result[8][0] < result["off"][0]
+    assert result[64][0] <= result[8][0]
+    assert result[512][0] <= result[64][0] * 1.02
+    # 64 counters already capture most of the skip opportunity.
+    assert result[64][1] > 0.85 * result[512][1]
+
+
+def test_siq_split_ablation(benchmark, runner, profiles):
+    """Splitting the 16-entry budget: the Table I point (4/12) should not
+    lose to the extremes."""
+    base = make_casino_config()
+
+    def run():
+        return {s: _perf(runner, profiles,
+                         dataclasses.replace(base, name=f"split{s}",
+                                             siq_size=s, iq_size=16 - s))
+                for s in (2, 4, 8, 12)}
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    table_point = result[4]
+    assert table_point >= 0.95 * max(result.values())
+
+
+def test_data_buffer_ablation(benchmark, runner, profiles):
+    """The 4-entry data buffer is sized to the in-flight IQ results; going
+    below it costs, going above barely helps."""
+    base = make_casino_config()
+
+    def run():
+        return {n: _perf(runner, profiles,
+                         dataclasses.replace(base, name=f"dbuf{n}",
+                                             data_buffer_size=n))
+                for n in (1, 4, 16)}
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result[4] >= result[1]
+    assert result[16] <= result[4] * 1.05

@@ -1,0 +1,19 @@
+"""Figure 2 benchmark: SpecInO scheduling potential.
+
+Paper shape: InO < SpecInO[2,1] Non-mem < SpecInO[2,1] All < OoO, with
+memory speculation contributing a large share of the gain.
+"""
+
+from repro.experiments import fig2_specino_potential
+
+
+def test_fig2_specino_potential(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig2_specino_potential.run(runner, profiles),
+        iterations=1, rounds=1)
+    nonmem = result["specino[2,1]-nonmem"]
+    allmem = result["specino[2,1]"]
+    ooo = result["ooo"]
+    assert 1.0 < nonmem < allmem < ooo
+    # MLP matters: All-Types adds a solid margin over Non-mem (paper: +16pp).
+    assert allmem - nonmem > 0.08

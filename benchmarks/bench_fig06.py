@@ -1,0 +1,19 @@
+"""Figure 6 benchmark: per-app IPC of LSC / Freeway / CASINO / OoO vs InO.
+
+Paper shape: geomeans LSC +28% < Freeway +34% < CASINO +51% < OoO +68%,
+CASINO gaining on every application.
+"""
+
+from repro.experiments import fig6_ipc
+
+
+def test_fig6_ipc(benchmark, runner, profiles):
+    result = benchmark.pedantic(lambda: fig6_ipc.run(runner, profiles),
+                                iterations=1, rounds=1)
+    g = {name: result[name]["geomean"] for name in result}
+    assert 1.0 < g["lsc"] <= g["freeway"] * 1.02
+    assert g["freeway"] < g["casino"] < g["ooo"]
+    # CASINO gains on every application.
+    assert all(v > 1.0 for app, v in result["casino"].items())
+    # CASINO lands in the paper's neighbourhood (+51% on the full suite).
+    assert 1.25 < g["casino"] < 1.85

@@ -1,0 +1,24 @@
+"""Figure 8 benchmark: memory disambiguation schemes on CASINO.
+
+Paper shape: AGI-ordering ~-11% perf with zero LQ activity; NoLQ restores
+performance but +31% SQ searches; the OSCA removes ~70% of NoLQ's searches
+and adds ~5 points of energy efficiency.
+"""
+
+from repro.experiments import fig8_memdisambig
+
+
+def test_fig8_memdisambig(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig8_memdisambig.run(runner, profiles),
+        iterations=1, rounds=1)
+    agi, nolq, osca = (result["agi_ordering"], result["nolq"],
+                       result["nolq_osca"])
+    assert agi["perf"] < 0.97           # ordering AGIs costs performance
+    assert agi["violations"] == 0
+    assert nolq["perf"] > agi["perf"]
+    assert nolq["sq_searches"] > 1.10   # value-check adds commit searches
+    assert osca["sq_searches"] < 0.70 * nolq["sq_searches"]
+    assert osca["perf"] == nolq["perf"]  # filtering is timing-neutral here
+    assert osca["efficiency"] > nolq["efficiency"]
+    assert osca["lq_ops"] == 0.0

@@ -1,0 +1,21 @@
+"""Figure 9 benchmark: core area and energy.
+
+Paper shape: CASINO ~+5% area over InO (OoO much larger); energy InO <
+CASINO (+22%) << OoO (+94%); CASINO has the best performance/area; the
+OoO+NoLQ variant trims OoO's energy.
+"""
+
+from repro.experiments import fig9_area_energy
+
+
+def test_fig9_area_energy(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig9_area_energy.run(runner, profiles),
+        iterations=1, rounds=1)
+    ino, cas, ooo = result["ino"], result["casino"], result["ooo"]
+    assert 1.02 < cas["area_rel"] < 1.12          # ~+5% in the paper
+    assert ooo["area_rel"] > 1.20
+    assert 1.05 < cas["energy_rel"] < 1.45        # ~+22% in the paper
+    assert ooo["energy_rel"] > 1.6                # ~+94% in the paper
+    assert cas["perf_per_area"] > max(1.0, ooo["perf_per_area"] * 0.95)
+    assert result["ooo+nolq"]["energy_rel"] <= ooo["energy_rel"]

@@ -1,0 +1,31 @@
+"""Figure 10 benchmark: speculative-issue design space.
+
+Paper shape: (a) the IQ-issue fraction grows with IQ size and performance
+peaks in the interior of the sweep (paper: 12 entries); (b) [WS, SO] around
+[2,1] is the sweet spot, with [2,2] below [2,1].
+"""
+
+from repro.experiments import fig10_design_space
+
+
+def test_fig10a_iq_size(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig10_design_space.run_iq_sweep(runner, profiles),
+        iterations=1, rounds=1)
+    sizes = fig10_design_space.IQ_SIZES
+    fracs = [result[n]["iq_issue_frac"] for n in sizes]
+    assert fracs == sorted(fracs)  # monotone growth of the Issue fraction
+    # Growing the IQ from 4 to 12 helps; the tail of the sweep saturates
+    # (paper shows a slight decline past 12; we require saturation).
+    assert result[12]["speedup"] > 1.02
+    assert result[20]["speedup"] < result[12]["speedup"] * 1.08
+
+
+def test_fig10b_ws_so(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig10_design_space.run_ws_so_sweep(runner, profiles),
+        iterations=1, rounds=1)
+    assert result[(2, 1)] > result[(1, 1)]
+    assert result[(2, 2)] <= result[(2, 1)] * 1.01
+    # No configuration runs away from [2,1] (the paper's chosen point).
+    assert max(result.values()) < result[(2, 1)] * 1.05

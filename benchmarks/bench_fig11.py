@@ -1,0 +1,22 @@
+"""Figure 11 benchmark: width scaling (2/3/4-way).
+
+Paper shape: performance grows with width for CASINO and OoO; CASINO keeps
+the best performance-per-energy at every width, reaching ~2x the OoO PER at
+4-way while staying within striking distance on raw performance.
+"""
+
+from repro.experiments import fig11_wider_issue
+
+
+def test_fig11_wider_issue(benchmark, runner, profiles):
+    result = benchmark.pedantic(
+        lambda: fig11_wider_issue.run(runner, profiles),
+        iterations=1, rounds=1)
+    for kind in ("casino", "ooo"):
+        assert result[(kind, 4)]["perf"] > result[(kind, 2)]["perf"]
+    for width in (2, 3, 4):
+        assert result[("casino", width)]["per"] > result[("ooo", width)]["per"]
+        assert result[("casino", width)]["per"] > result[("ino", 2)]["per"] * 0.95
+    # 4-way CASINO approaches 2x the OoO energy efficiency (paper: 2.0x).
+    ratio = result[("casino", 4)]["per"] / result[("ooo", 4)]["per"]
+    assert ratio > 1.5

@@ -1,0 +1,39 @@
+"""Sensitivity benchmarks (extensions beyond the paper's figures).
+
+MLP is capped by the instruction window, so the windowed cores' speedups
+over InO shrink together toward the serial-miss bound as memory slows,
+while staying above 1 and tracking each other — the shape
+`repro.experiments.sensitivity_memory` documents and these benches pin.
+"""
+
+from repro.experiments import sensitivity_memory
+
+
+def test_dram_latency_sensitivity(benchmark, profiles):
+    result = benchmark.pedantic(
+        lambda: sensitivity_memory.run_latency_sweep(
+            profiles[:5], n_instrs=8_000, warmup=2_000),
+        iterations=1, rounds=1)
+    scales = sorted(result)
+    # Window-capped MLP: speedups shrink monotonically as memory slows...
+    casino = [result[s]["casino"] for s in scales]
+    ooo = [result[s]["ooo"] for s in scales]
+    assert casino == sorted(casino, reverse=True)
+    assert ooo == sorted(ooo, reverse=True)
+    # ...while CASINO beats InO at every point, stays below OoO, and
+    # tracks OoO (the gap ratio moves by < 15% across an 8x latency range).
+    ratios = [result[s]["casino"] / result[s]["ooo"] for s in scales]
+    for scale in scales:
+        assert 1.0 < result[scale]["casino"] <= result[scale]["ooo"] * 1.02
+    assert max(ratios) / min(ratios) < 1.15
+
+
+def test_prefetch_ablation(benchmark, profiles):
+    result = benchmark.pedantic(
+        lambda: sensitivity_memory.run_prefetch_ablation(
+            profiles[:5], n_instrs=8_000, warmup=2_000),
+        iterations=1, rounds=1)
+    # Without the prefetcher, more raw latency is exposed: windowed
+    # schedulers gain at least as much over InO.
+    assert result["off"]["casino"] >= result["on"]["casino"] * 0.97
+    assert result["off"]["ooo"] >= result["on"]["ooo"] * 0.97

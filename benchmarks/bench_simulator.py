@@ -1,0 +1,47 @@
+"""Microbenchmarks of the simulator itself: cycles/second throughput of
+each core model and the trace generator (pytest-benchmark's bread and
+butter — these DO use repeated rounds)."""
+
+import pytest
+
+from repro.common.params import (
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.cores import build_core
+from repro.workloads import get_profile
+from repro.workloads.generator import SyntheticWorkload
+
+TRACE = None
+
+
+def _trace():
+    global TRACE
+    if TRACE is None:
+        TRACE = SyntheticWorkload(get_profile("hmmer")).generate(4000)
+    return TRACE
+
+
+@pytest.mark.parametrize("factory", [make_ino_config, make_casino_config,
+                                     make_ooo_config],
+                         ids=["ino", "casino", "ooo"])
+def test_core_simulation_throughput(benchmark, factory):
+    trace = _trace()
+    core = build_core(factory())
+
+    def run():
+        return core.run(trace).committed
+
+    committed = benchmark(run)
+    assert committed == 4000
+
+
+def test_trace_generation_throughput(benchmark):
+    profile = get_profile("gcc")
+
+    def gen():
+        return len(SyntheticWorkload(profile).generate(4000))
+
+    n = benchmark(gen)
+    assert n == 4000

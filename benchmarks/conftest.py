@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table/figure of the paper on the
+representative 8-app subset (set ``REPRO_BENCH_FULL=1`` for all 25 apps)
+and asserts the paper's qualitative shape on the result.  The runner is
+session-scoped so later benches reuse earlier simulations where configs
+overlap; each bench's reported time is the incremental cost of its figure.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import QUICK_APPS
+from repro.harness.runner import Runner
+from repro.workloads.suite import SUITE, suite_profiles
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(n_instrs=12_000, warmup=3_000)
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return suite_profiles("all")
+    return [SUITE[name] for name in QUICK_APPS]

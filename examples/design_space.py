@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Design-space walk: how big should each scheduling window be?
+
+Sweeps the CASINO-specific knobs on a small app mix and prints the trends
+the paper uses to pick its design point (Figure 10 and Section VI-F):
+
+* the S-IQ/IQ split of the 16-entry scheduling budget,
+* the SpecInO [WS, SO] window policy,
+* the OSCA size,
+* issue width (with cascaded intermediate S-IQs).
+
+Run:  python examples/design_space.py
+"""
+
+import dataclasses
+
+from repro import Runner, get_profile, make_casino_config
+from repro.common.stats import geomean
+from repro.harness.tables import format_table
+
+APPS = ["hmmer", "mcf", "cactusADM", "h264ref", "milc"]
+
+
+def sweep(runner, profiles, configs, label):
+    rows = []
+    base = None
+    for cfg in configs:
+        perf = geomean(runner.run(cfg, p).ipc for p in profiles)
+        if base is None:
+            base = perf
+        rows.append([cfg.name, perf, perf / base])
+    print(label)
+    print(format_table(["config", "geomean IPC", "relative"], rows))
+    print()
+
+
+def main() -> None:
+    runner = Runner(n_instrs=12_000, warmup=3_000)
+    profiles = [get_profile(a) for a in APPS]
+    base = make_casino_config()
+
+    sweep(runner, profiles, [
+        dataclasses.replace(base, name=f"siq{s}/iq{16 - s}",
+                            siq_size=s, iq_size=16 - s)
+        for s in (2, 4, 6, 8)
+    ], "S-IQ/IQ split of a 16-entry budget (Table I point: 4/12)")
+
+    sweep(runner, profiles, [
+        dataclasses.replace(base, name=f"[{ws},{so}]",
+                            specino_ws=ws, specino_so=so)
+        for ws, so in ((1, 1), (2, 1), (2, 2), (4, 2))
+    ], "SpecInO window policy (paper's optimum: [2,1])")
+
+    sweep(runner, profiles, [
+        dataclasses.replace(base, name=f"osca{n}", osca_entries=n)
+        for n in (8, 16, 64, 256)
+    ], "OSCA size (paper point: 64 counters)")
+
+    sweep(runner, profiles, [
+        dataclasses.replace(make_casino_config(w), name=f"{w}-way")
+        for w in (2, 3, 4)
+    ], "Issue width with cascaded intermediate S-IQs (Section VI-F)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""MLP anatomy: why CASINO wins on miss-heavy code and ties on pointer chasing.
+
+Runs two kernels on the functional emulator and one synthetic application,
+then shows how each scheduler copes:
+
+* ``daxpy``          — independent iterations: misses overlap, CASINO and
+  OoO extract memory-level parallelism that the stall-on-use InO cannot.
+* ``pointer_chase``  — a dependent miss chain: *no* scheduler can overlap
+  the misses, so all three cores converge (Section II's motivation).
+* ``mcf``            — the synthetic large-footprint application mixing both.
+
+Run:  python examples/memory_level_parallelism.py
+"""
+
+from repro import build_core, get_profile, make_casino_config, make_ino_config, make_ooo_config
+from repro.harness.tables import format_table
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.kernels import kernel_trace
+
+CONFIGS = [make_ino_config(), make_casino_config(), make_ooo_config()]
+
+
+def run_all(trace, warmup):
+    rows = []
+    for cfg in CONFIGS:
+        stats = build_core(cfg).run(list(trace), warmup=warmup)
+        mlp_proxy = stats.get("l1d_mshr_merges") + stats.get("l2_mshr_merges")
+        rows.append([cfg.name, stats.ipc,
+                     stats.get("dram_accesses"),
+                     mlp_proxy,
+                     stats.get("issued_spec", 0)])
+    return rows
+
+
+def main() -> None:
+    headers = ["core", "IPC", "DRAM accesses", "overlapped misses",
+               "spec issues"]
+
+    print("daxpy (independent iterations - MLP available)")
+    trace = kernel_trace("daxpy", n=2048, passes=3)
+    print(format_table(headers, run_all(trace, warmup=2000)))
+
+    print("\npointer_chase (dependent miss chain - no MLP to extract)")
+    trace = kernel_trace("pointer_chase", nodes=1024, hops=4000)
+    print(format_table(headers, run_all(trace, warmup=1000)))
+
+    print("\nmcf-like synthetic application (mixed)")
+    trace = SyntheticWorkload(get_profile("mcf")).generate(24_000)
+    print(format_table(headers, run_all(trace, warmup=6000)))
+
+    print("\nReading: on daxpy the windowed cores overlap misses "
+          "(high 'overlapped misses', big IPC gap over InO); on "
+          "pointer_chase every load depends on the previous one, so the "
+          "three cores converge - exactly the contrast that motivates "
+          "speculative in-order scheduling in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application on the three Table I cores.
+
+Builds the InO baseline, the CASINO core and the OoO core, runs the same
+synthetic `milc`-like workload on each, and prints IPC, speedup, energy and
+the Table I configuration — the 60-second tour of the library.
+
+Run:  python examples/quickstart.py [app-name]
+"""
+
+import sys
+
+from repro import (
+    Runner,
+    build_power_model,
+    get_profile,
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.harness.tables import format_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "milc"
+    profile = get_profile(app)
+    print(f"Application: {app} (synthetic stand-in; {profile.n_instrs} "
+          f"instructions, footprint {profile.footprint_kib} KiB)\n")
+
+    configs = [make_ino_config(), make_casino_config(), make_ooo_config()]
+
+    print("Table I configuration")
+    rows = []
+    for cfg in configs:
+        window = (f"{cfg.siq_size}(S-IQ)/{cfg.iq_size}(IQ)"
+                  if cfg.kind == "casino" else f"{cfg.iq_size}")
+        prf = (f"{cfg.prf_int} INT, {cfg.prf_fp} FP"
+               if cfg.kind != "ino" else "-")
+        rows.append([cfg.name, f"{cfg.width}-wide", window,
+                     cfg.sq_sb_size, prf,
+                     f"{cfg.rob_size}-entry ROB" if cfg.kind != "ino"
+                     else f"{cfg.scb_size}-entry SCB"])
+    print(format_table(
+        ["core", "width", "issue queue", "SQ/SB", "phys regs", "window"],
+        rows))
+
+    runner = Runner()
+    results = {cfg.name: runner.run(cfg, profile) for cfg in configs}
+    base = results["ino"]
+
+    print("\nSimulation results")
+    rows = []
+    for cfg in configs:
+        res = results[cfg.name]
+        area = build_power_model(cfg).area_mm2()
+        rows.append([
+            cfg.name,
+            res.ipc,
+            res.ipc / base.ipc,
+            res.energy.total_j / base.energy.total_j,
+            (res.ipc / base.ipc)
+            / (res.energy.total_j / base.energy.total_j),
+            area,
+        ])
+    print(format_table(
+        ["core", "IPC", "speedup", "energy (rel)", "perf/energy", "area mm2"],
+        rows))
+
+    casino = results["casino"].stats
+    spec = casino.get("issued_spec") / max(1.0, casino.get("issued"))
+    print(f"\nCASINO issued {spec:.0%} of instructions speculatively from "
+          f"the S-IQ (paper: ~65% on SPEC CPU2006).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Memory disambiguation under heavy store->load aliasing (the h264ref story).
+
+The paper observes that on h264ref the OoO core suffers frequent memory-order
+violations despite its dependence predictor, while CASINO's sequential
+examination at the S-IQ/IQ heads makes violations rare — so CASINO slightly
+beats OoO there.  This example reproduces that anatomy on the aliasing-heavy
+synthetic h264ref plus the histogram kernel (read-modify-write on a small
+table), and shows what the OSCA filter saves.
+
+Run:  python examples/store_load_aliasing.py
+"""
+
+import dataclasses
+
+from repro import build_core, get_profile, make_casino_config, make_ooo_config
+from repro.common.params import DISAMBIG_NOLQ
+from repro.harness.tables import format_table
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.kernels import kernel_trace
+
+
+def run(cfg, trace, warmup):
+    stats = build_core(cfg).run(list(trace), warmup=warmup)
+    return stats
+
+
+def main() -> None:
+    casino = make_casino_config()
+    casino_noosca = dataclasses.replace(casino, name="casino-no-osca",
+                                        disambiguation=DISAMBIG_NOLQ)
+    ooo = make_ooo_config()
+    ooo_nopred = dataclasses.replace(ooo, name="ooo-no-predictor",
+                                     store_sets=False)
+
+    headers = ["core", "IPC", "violations", "squashes", "SQ searches",
+               "LQ searches", "forwards", "OSCA skips"]
+
+    for title, trace, warm in [
+        ("synthetic h264ref (alias_frac=0.30)",
+         SyntheticWorkload(get_profile("h264ref")).generate(24_000), 6000),
+        ("histogram kernel (RMW on a 64-bucket table)",
+         kernel_trace("histogram", n=2048, buckets=64), 2000),
+    ]:
+        print(title)
+        rows = []
+        for cfg in (ooo, ooo_nopred, casino_noosca, casino):
+            s = run(cfg, trace, warm)
+            rows.append([cfg.name, s.ipc,
+                         int(s.get("mem_order_violations")),
+                         int(s.get("squashes")),
+                         int(s.get("sq_searches")),
+                         int(s.get("lq_searches")),
+                         int(s.get("stl_forwards")),
+                         int(s.get("osca_search_skips"))])
+        print(format_table(headers, rows))
+        print()
+
+    print("Reading: the predictor-less OoO squashes constantly; store sets "
+          "recover most of it; CASINO's on-commit value-check needs no LQ "
+          "searches at all, and the OSCA removes most of the remaining SQ "
+          "searches without changing performance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy installer shim: lets `python setup.py develop` work in offline
+environments that lack the `wheel` package (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a from-scratch reproduction of the CASINO core microarchitecture
+(Jeong, Park, Lee & Ro, HPCA 2020).
+
+Public API quick tour::
+
+    from repro import (
+        make_ino_config, make_casino_config, make_ooo_config,
+        build_core, Runner, suite_profiles,
+    )
+
+    runner = Runner()
+    profile = suite_profiles("all")[0]
+    result = runner.run(make_casino_config(), profile)
+    print(result.ipc, result.energy.total_j)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.common.params import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MemoryConfig,
+    SimConfig,
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.common.config_io import dump_core_config, load_core_config
+from repro.common.stats import Stats, geomean
+from repro.cores import build_core
+from repro.harness.runner import RunResult, Runner
+from repro.power.accounting import build_power_model
+from repro.workloads.suite import SUITE, get_profile, suite_profiles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "MemoryConfig",
+    "SimConfig",
+    "Stats",
+    "geomean",
+    "build_core",
+    "build_power_model",
+    "load_core_config",
+    "dump_core_config",
+    "Runner",
+    "RunResult",
+    "SUITE",
+    "get_profile",
+    "suite_profiles",
+    "make_casino_config",
+    "make_freeway_config",
+    "make_ino_config",
+    "make_lsc_config",
+    "make_ooo_config",
+    "make_specino_config",
+]

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                     show the 25 synthetic applications
+``run --core X --app Y``     simulate one (core, app) pair and print stats
+``compare --app Y``          all Table I cores on one application
+``figure figN``              regenerate one figure of the paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import (
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.harness.runner import Runner
+from repro.harness.tables import format_table
+from repro.workloads.suite import SUITE, get_profile
+
+_CORES = {
+    "ino": make_ino_config,
+    "casino": make_casino_config,
+    "ooo": make_ooo_config,
+    "lsc": make_lsc_config,
+    "freeway": make_freeway_config,
+    "specino": make_specino_config,
+}
+
+_FIGURES = {
+    "fig2": "repro.experiments.fig2_specino_potential",
+    "fig6": "repro.experiments.fig6_ipc",
+    "fig7": "repro.experiments.fig7_renaming",
+    "fig8": "repro.experiments.fig8_memdisambig",
+    "fig9": "repro.experiments.fig9_area_energy",
+    "fig10": "repro.experiments.fig10_design_space",
+    "fig11": "repro.experiments.fig11_wider_issue",
+}
+
+
+def _cmd_list(_args) -> int:
+    rows = [[p.name, p.n_instrs, p.footprint_kib,
+             f"{p.frac_mem:.2f}", f"{p.frac_fp:.2f}"]
+            for p in SUITE.values()]
+    print(format_table(["app", "instrs", "footprint KiB", "mem frac",
+                        "fp frac"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.config:
+        from repro.common.config_io import load_core_config
+        cfg = load_core_config(args.config)
+    else:
+        cfg = _CORES[args.core]()
+    runner = Runner(n_instrs=args.n, warmup=args.warmup)
+    res = runner.run(cfg, get_profile(args.app))
+    stats = res.stats
+    print(f"{args.core} on {args.app}: IPC {res.ipc:.3f} "
+          f"({int(stats.committed)} instrs, {int(stats.cycles)} cycles)")
+    print(f"energy {res.energy.total_j * 1e6:.2f} uJ "
+          f"({res.energy.epi_nj:.2f} nJ/inst)")
+    interesting = ("issued_spec", "issued_iq", "siq_passes", "sq_searches",
+                   "osca_search_skips", "mem_order_violations",
+                   "l1d_misses", "dram_accesses", "bp_mispredicts")
+    rows = [[k, int(stats.get(k))] for k in interesting if k in stats]
+    if rows:
+        print(format_table(["counter", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = Runner(n_instrs=args.n, warmup=args.warmup)
+    profile = get_profile(args.app)
+    rows = []
+    base = None
+    for name in ("ino", "lsc", "freeway", "casino", "ooo"):
+        res = runner.run(_CORES[name](), profile)
+        if base is None:
+            base = res
+        rows.append([name, res.ipc, res.ipc / base.ipc,
+                     res.energy.total_j / base.energy.total_j])
+    print(f"{args.app} ({profile.n_instrs} instrs)")
+    print(format_table(["core", "IPC", "speedup", "energy (rel)"], rows))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.workloads.characterize import characterize
+    from repro.workloads.generator import SyntheticWorkload
+    profile = get_profile(args.app)
+    trace = SyntheticWorkload(profile).generate(args.n)
+    measured = characterize(trace)
+    rows = [[key, value] for key, value in measured.as_dict().items()]
+    print(f"{args.app} ({args.n} instructions)")
+    print(format_table(["metric", "value"], rows, float_fmt="{:.4f}"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+    module = importlib.import_module(_FIGURES[args.name])
+    if args.json:
+        from repro.harness.export import write_json
+        if args.name == "fig10":
+            results = {"iq_sweep": module.run_iq_sweep(),
+                       "ws_so_sweep": module.run_ws_so_sweep()}
+        else:
+            results = module.run()
+        write_json(results, args.json)
+        print(f"wrote {args.json}")
+    else:
+        module.main()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CASINO core reproduction (HPCA 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the synthetic applications")
+
+    run_p = sub.add_parser("run", help="simulate one (core, app) pair")
+    run_p.add_argument("--core", choices=sorted(_CORES), default="casino")
+    run_p.add_argument("--config", metavar="JSON", default=None,
+                       help="load the core config from a JSON file instead")
+    run_p.add_argument("--app", default="milc")
+    run_p.add_argument("-n", type=int, default=24_000)
+    run_p.add_argument("--warmup", type=int, default=6_000)
+
+    cmp_p = sub.add_parser("compare", help="all cores on one application")
+    cmp_p.add_argument("--app", default="milc")
+    cmp_p.add_argument("-n", type=int, default=24_000)
+    cmp_p.add_argument("--warmup", type=int, default=6_000)
+
+    char_p = sub.add_parser("characterize",
+                            help="measure a synthetic application's trace")
+    char_p.add_argument("--app", default="milc")
+    char_p.add_argument("-n", type=int, default=24_000)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=sorted(_FIGURES))
+    fig_p.add_argument("--json", metavar="PATH", default=None,
+                       help="write raw results as JSON instead of a table")
+
+    args = parser.parse_args(argv)
+    return {"list": _cmd_list, "run": _cmd_run,
+            "compare": _cmd_compare, "figure": _cmd_figure,
+            "characterize": _cmd_characterize}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Shared infrastructure: configuration dataclasses and statistics counters."""
+
+from repro.common.params import (
+    CoreConfig,
+    MemoryConfig,
+    SimConfig,
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.common.stats import Stats
+
+__all__ = [
+    "CoreConfig",
+    "MemoryConfig",
+    "SimConfig",
+    "Stats",
+    "make_casino_config",
+    "make_ino_config",
+    "make_ooo_config",
+]

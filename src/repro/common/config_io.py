@@ -1,0 +1,93 @@
+"""Configuration (de)serialisation: JSON round-trips for reproducible
+experiment definitions.
+
+A config file is a JSON object with a ``base`` factory name plus field
+overrides — the same vocabulary as the Python API::
+
+    {"base": "casino", "width": 4, "osca_entries": 128}
+
+``load_core_config`` builds the :class:`~repro.common.params.CoreConfig`;
+``dump_core_config`` writes one back out (only non-default fields).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.params import (
+    CoreConfig,
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+
+_FACTORIES = {
+    "ino": make_ino_config,
+    "casino": make_casino_config,
+    "ooo": make_ooo_config,
+    "lsc": make_lsc_config,
+    "freeway": make_freeway_config,
+    "specino": make_specino_config,
+}
+
+
+class ConfigError(ValueError):
+    """Malformed configuration file or unknown field."""
+
+
+def core_config_from_dict(data: dict) -> CoreConfig:
+    """Build a CoreConfig from a ``{"base": ..., **overrides}`` mapping."""
+    data = dict(data)
+    base_name = data.pop("base", None)
+    width = data.pop("width", 2)
+    if base_name is None:
+        raise ConfigError('config needs a "base" (ino/casino/ooo/...)')
+    factory = _FACTORIES.get(base_name)
+    if factory is None:
+        raise ConfigError(f"unknown base {base_name!r}; "
+                          f"known: {sorted(_FACTORIES)}")
+    cfg = factory(width) if base_name in ("ino", "casino", "ooo") \
+        else factory()
+    valid = {f.name for f in dataclasses.fields(CoreConfig)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigError(f"unknown CoreConfig fields: {sorted(unknown)}")
+    return dataclasses.replace(cfg, **data)
+
+
+def core_config_to_dict(cfg: CoreConfig) -> dict:
+    """Dump a CoreConfig as ``{"base": kind, **non-default overrides}``."""
+    factory = _FACTORIES[cfg.kind]
+    base = factory(cfg.width) if cfg.kind in ("ino", "casino", "ooo") \
+        else factory()
+    out = {"base": cfg.kind, "width": cfg.width}
+    for field in dataclasses.fields(CoreConfig):
+        value = getattr(cfg, field.name)
+        if value != getattr(base, field.name):
+            out[field.name] = value
+    return out
+
+
+def load_core_config(path: Union[str, Path]) -> CoreConfig:
+    """Read a JSON config file into a CoreConfig."""
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: expected a JSON object")
+    return core_config_from_dict(data)
+
+
+def dump_core_config(cfg: CoreConfig, path: Union[str, Path]) -> None:
+    """Write a CoreConfig to a JSON config file."""
+    with open(path, "w") as fh:
+        json.dump(core_config_to_dict(cfg), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,295 @@
+"""Configuration dataclasses reproducing Table I of the CASINO paper.
+
+Every simulated model (InO, CASINO, OoO, LSC, Freeway, SpecInO) is described
+by a :class:`CoreConfig`; the shared cache/DRAM subsystem by a
+:class:`MemoryConfig`; a full experiment run by a :class:`SimConfig`.
+
+The ``make_*_config`` factories encode Table I exactly:
+
+=====================  ===========  ==============  ============
+Parameter              InO          CASINO          OoO
+=====================  ===========  ==============  ============
+Core                   2-wide superscalar @ 2 GHz
+Pipeline depth         7 stages     9 stages        9 stages
+Issue queue            16 entries   4 (S-IQ) / 12   16 entries
+Load queue             --           --              16 entries
+Store queue/buffer     4 entries    8 entries       8 entries
+Physical registers     --           32 INT, 14 FP   48 INT, 24 FP
+Instruction window     4-entry SCB  32-entry ROB    32-entry ROB
+Functional units       2 ALU, 2 FP, 2 AGU
+=====================  ===========  ==============  ============
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+#: Number of architectural integer registers (r0..r15).
+NUM_INT_ARCH = 16
+#: Number of architectural floating-point registers (f0..f7).
+NUM_FP_ARCH = 8
+#: Total architectural register namespace size.
+NUM_ARCH_REGS = NUM_INT_ARCH + NUM_FP_ARCH
+
+#: Memory-disambiguation schemes evaluated in Figure 8.
+DISAMBIG_FULLY_OOO = "fully_ooo"       # conventional LQ-based scheme
+DISAMBIG_AGI_ORDERING = "agi_ordering" # AGIs forced in order at the S-IQ head
+DISAMBIG_NOLQ = "nolq"                 # on-commit value-check, no OSCA filter
+DISAMBIG_NOLQ_OSCA = "nolq_osca"       # on-commit value-check + OSCA filter
+
+RENAME_CONDITIONAL = "conditional"     # CASINO's scheme (Section III-B2)
+RENAME_CONVENTIONAL = "conventional"   # allocate a register to every dest
+
+
+@dataclass
+class CoreConfig:
+    """Microarchitectural parameters for one core model.
+
+    Only the fields relevant to a given ``kind`` are consulted by that core;
+    the rest are ignored (e.g. ``lq_size`` only matters to the OoO model).
+    """
+
+    name: str = "casino"
+    kind: str = "casino"  # ino | ooo | casino | lsc | freeway | specino
+    width: int = 2        # issue = fetch = commit width
+    frontend_latency: int = 5   # fetch -> dispatch cycles (pipeline depth proxy)
+    mispredict_penalty: int = 7 # extra cycles to redirect + refill the front end
+
+    # Scheduling windows.
+    iq_size: int = 12       # the (normal) in-order IQ for CASINO; full IQ for InO/OoO
+    siq_size: int = 4       # CASINO speculative IQ
+    n_intermediate_siqs: int = 0    # wider designs insert 8-entry S-IQs (Section VI-F)
+    intermediate_siq_size: int = 8
+    specino_ws: int = 2     # SpecInO window size
+    specino_so: int = 1     # SpecInO sliding offset
+    specino_mem: bool = True  # SpecInO issues memory ops speculatively ("All Types")
+
+    # Instruction window / in-order write-back resources.
+    rob_size: int = 32
+    scb_size: int = 4          # InO scoreboard (in-flight completion window)
+    data_buffer_size: int = 4  # CASINO data buffer for IQ-issued results
+
+    # Register file / renaming.
+    prf_int: int = 32
+    prf_fp: int = 14
+    rename_scheme: str = RENAME_CONDITIONAL
+    producer_count_max: int = 3  # 2-bit ProducerCount field
+
+    # Load/store unit.
+    lq_size: int = 16       # OoO only
+    sq_sb_size: int = 8     # unified SQ/SB for CASINO & OoO; plain SB for InO
+    disambiguation: str = DISAMBIG_NOLQ_OSCA
+    osca_entries: int = 64
+    osca_granule: int = 4   # bytes covered per OSCA counter
+    store_sets: bool = True # OoO memory dependence predictor
+
+    # Functional units.
+    n_alu: int = 2
+    n_fpu: int = 2
+    n_agu: int = 2
+
+    # LSC / Freeway slice machinery.
+    ist_entries: int = 128
+    biq_size: int = 32
+    aiq_size: int = 32
+    yiq_size: int = 32
+
+    def scaled(self, width: int) -> "CoreConfig":
+        """Return a copy scaled to a wider issue design (Section VI-F).
+
+        The ROB, IQ, LSQ and PRF double at 3-way and quadruple at 4-way,
+        following the paper's wider-superscalar methodology; CASINO inserts
+        one (3-way) or two (4-way) intermediate 8-entry S-IQs.
+        """
+        factor = {2: 1, 3: 2, 4: 4}[width]
+        cfg = dataclasses.replace(
+            self,
+            name=f"{self.name}-{width}w",
+            width=width,
+            rob_size=self.rob_size * factor,
+            iq_size=self.iq_size * factor,
+            lq_size=self.lq_size * factor,
+            sq_sb_size=self.sq_sb_size * factor,
+            scb_size=self.scb_size * factor,
+            data_buffer_size=self.data_buffer_size * factor,
+            prf_int=NUM_INT_ARCH + (self.prf_int - NUM_INT_ARCH) * factor,
+            prf_fp=NUM_FP_ARCH + (self.prf_fp - NUM_FP_ARCH) * factor,
+            # Table I's functional units (2 ALU / 2 FP / 2 AGU) are NOT
+            # scaled by the wider-issue methodology — only the ROB, IQ,
+            # LSQ and PRF grow (Section VI-F).
+            n_alu=max(self.n_alu, width),
+            n_fpu=self.n_fpu,
+            n_agu=self.n_agu,
+            n_intermediate_siqs=max(0, width - 2) if self.kind == "casino" else 0,
+            # Conditional renaming is disabled for cascaded wider designs
+            # (instructions are renamed once, at the head of the first S-IQ).
+            rename_scheme=(RENAME_CONVENTIONAL
+                           if self.kind == "casino" and width > 2
+                           else self.rename_scheme),
+        )
+        return cfg
+
+
+@dataclass
+class CacheConfig:
+    """One cache level."""
+
+    size_kib: int = 32
+    assoc: int = 8
+    line_bytes: int = 64
+    latency: int = 4
+    mshrs: int = 8
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets implied by size, associativity and line size."""
+        return (self.size_kib * 1024) // (self.assoc * self.line_bytes)
+
+
+@dataclass
+class DramConfig:
+    """DDR4-like main-memory timing, expressed in core cycles @ 2 GHz.
+
+    DDR4-2400 timings (tRCD = tRP = CAS ~= 13.75 ns) are roughly 28 core
+    cycles each at 2 GHz; the bus transfer of a 64 B line at 2400 MT/s over
+    a 64-bit channel adds ~4 memory-clock edges.
+    """
+
+    n_banks: int = 16
+    row_bytes: int = 2048
+    t_rcd: int = 28
+    t_rp: int = 28
+    t_cas: int = 28
+    t_burst: int = 8
+    frontend_overhead: int = 20  # controller queueing/decode overhead
+
+
+@dataclass
+class MemoryConfig:
+    """The full cache + DRAM hierarchy of Table I."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32, 8, 64, 4))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32, 8, 64, 4))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1024, 16, 64, 11, mshrs=16))
+    dram: DramConfig = field(default_factory=DramConfig)
+    prefetcher_streams: int = 16
+    prefetcher_degree: int = 2
+    prefetch_enabled: bool = True
+
+
+@dataclass
+class BranchPredictorConfig:
+    """TAGE predictor of Table I: 17-bit GHR, bimodal + four tagged tables."""
+
+    ghr_bits: int = 17
+    n_tagged: int = 4
+    bimodal_bits: int = 13          # 8 K-entry bimodal
+    tagged_bits: int = 10           # 1 K entries per tagged table
+    tag_bits: int = 9
+    history_lengths: tuple = (4, 8, 16, 17)
+    btb_sets: int = 512
+    btb_ways: int = 4
+
+
+@dataclass
+class SimConfig:
+    """Everything needed to run one (core, memory, workload) simulation."""
+
+    core: CoreConfig = field(default_factory=lambda: make_casino_config())
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    max_cycles: int = 10_000_000
+
+
+def make_ino_config(width: int = 2) -> CoreConfig:
+    """Table I in-order baseline: stall-on-use, 16-entry IQ, 4-entry SCB/SB."""
+    cfg = CoreConfig(
+        name="ino",
+        kind="ino",
+        frontend_latency=3,
+        mispredict_penalty=5,
+        iq_size=16,
+        scb_size=4,
+        sq_sb_size=4,
+        rob_size=4,   # unused; commit window is the SCB
+    )
+    return cfg if width == 2 else cfg.scaled(width)
+
+
+def make_ooo_config(width: int = 2) -> CoreConfig:
+    """Table I out-of-order baseline: 16-entry IQ, 16 LQ, 8 SQ/SB, 48/24 PRF."""
+    cfg = CoreConfig(
+        name="ooo",
+        kind="ooo",
+        frontend_latency=5,
+        mispredict_penalty=7,
+        iq_size=16,
+        lq_size=16,
+        sq_sb_size=8,
+        prf_int=48,
+        prf_fp=24,
+        rob_size=32,
+        rename_scheme=RENAME_CONVENTIONAL,
+        disambiguation=DISAMBIG_FULLY_OOO,
+    )
+    return cfg if width == 2 else cfg.scaled(width)
+
+
+def make_casino_config(width: int = 2) -> CoreConfig:
+    """Table I CASINO core: 4-entry S-IQ + 12-entry IQ, 32/14 PRF, 8 SQ/SB."""
+    cfg = CoreConfig(
+        name="casino",
+        kind="casino",
+        frontend_latency=5,
+        mispredict_penalty=7,
+        iq_size=12,
+        siq_size=4,
+        sq_sb_size=8,
+        prf_int=32,
+        prf_fp=14,
+        rob_size=32,
+        rename_scheme=RENAME_CONDITIONAL,
+        disambiguation=DISAMBIG_NOLQ_OSCA,
+    )
+    return cfg if width == 2 else cfg.scaled(width)
+
+
+def make_lsc_config() -> CoreConfig:
+    """Load Slice Core with 32-entry IQs and generous other resources
+    (Section VI-A2 evaluates sOoO cores with 32-entry IQs)."""
+    return CoreConfig(
+        name="lsc",
+        kind="lsc",
+        frontend_latency=4,
+        mispredict_penalty=6,
+        biq_size=32,
+        aiq_size=32,
+        sq_sb_size=8,
+        rob_size=64,
+        scb_size=8,
+    )
+
+
+def make_freeway_config() -> CoreConfig:
+    """Freeway: LSC plus a dependence-aware yielding queue (Y-IQ)."""
+    cfg = make_lsc_config()
+    return dataclasses.replace(cfg, name="freeway", kind="freeway", yiq_size=32)
+
+
+def make_specino_config(ws: int = 2, so: int = 1, mem: bool = True) -> CoreConfig:
+    """Idealised SpecInO limit model of Section II-C (Figure 2)."""
+    return CoreConfig(
+        name=f"specino[{ws},{so}]{'' if mem else '-nonmem'}",
+        kind="specino",
+        frontend_latency=3,
+        mispredict_penalty=5,
+        iq_size=16,
+        scb_size=8,
+        sq_sb_size=8,
+        rob_size=32,
+        specino_ws=ws,
+        specino_so=so,
+        specino_mem=mem,
+    )

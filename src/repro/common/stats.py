@@ -1,0 +1,96 @@
+"""Event-count statistics shared by all simulated cores.
+
+A :class:`Stats` object is a thin counter namespace.  Counters are created on
+first use so cores only pay for events they generate, and the power model can
+iterate over whatever was recorded.  A few derived metrics (IPC, rates) are
+computed on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class Stats:
+    """A bag of named event counters plus derived-metric helpers."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return counter ``name`` (``default`` if never touched)."""
+        return self.counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.counters
+
+    def merge(self, other: "Stats") -> "Stats":
+        """Accumulate ``other``'s counters into this object and return self."""
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict snapshot of every counter."""
+        return dict(self.counters)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.get("cycles", 0.0)
+
+    @property
+    def committed(self) -> float:
+        return self.counters.get("committed", 0.0)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle (0 when nothing ran)."""
+        cycles = self.cycles
+        return self.committed / cycles if cycles else 0.0
+
+    def rate(self, name: str, per: str = "cycles") -> float:
+        """Counter ``name`` divided by counter ``per`` (0 when denom is 0)."""
+        denom = self.counters.get(per, 0.0)
+        return self.counters.get(name, 0.0) / denom if denom else 0.0
+
+    def subset(self, prefixes: Iterable[str]) -> Dict[str, float]:
+        """All counters whose name starts with one of ``prefixes``."""
+        prefixes = tuple(prefixes)
+        return {k: v for k, v in self.counters.items() if k.startswith(prefixes)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        core = {k: self.counters[k] for k in sorted(self.counters)[:8]}
+        return f"Stats(ipc={self.ipc:.3f}, {core}...)"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if the iterable is empty)."""
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError("geomean requires positive values")
+        total += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(total / count)
+
+
+def normalize(results: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """Normalise a {name: value} mapping to ``results[baseline]``."""
+    base = results[baseline]
+    if base == 0.0:
+        raise ValueError(f"baseline {baseline!r} is zero")
+    return {name: value / base for name, value in results.items()}

@@ -1,0 +1,35 @@
+"""Timing core models: InO, OoO, CASINO, Load Slice Core, Freeway, SpecInO.
+
+:func:`build_core` constructs the right model for a
+:class:`~repro.common.params.CoreConfig`.
+"""
+
+from repro.common.params import BranchPredictorConfig, CoreConfig, MemoryConfig
+
+
+def build_core(cfg: CoreConfig, mem_cfg: "MemoryConfig" = None,
+               bp_cfg: "BranchPredictorConfig" = None):
+    """Instantiate the core model selected by ``cfg.kind``."""
+    from repro.cores.casino.core import CasinoCore
+    from repro.cores.freeway import FreewayCore
+    from repro.cores.inorder import InOrderCore
+    from repro.cores.lsc import LoadSliceCore
+    from repro.cores.ooo import OutOfOrderCore
+    from repro.cores.specino import SpecInOCore
+
+    kinds = {
+        "ino": InOrderCore,
+        "ooo": OutOfOrderCore,
+        "casino": CasinoCore,
+        "lsc": LoadSliceCore,
+        "freeway": FreewayCore,
+        "specino": SpecInOCore,
+    }
+    try:
+        cls = kinds[cfg.kind]
+    except KeyError:
+        raise ValueError(f"unknown core kind {cfg.kind!r}") from None
+    return cls(cfg, mem_cfg, bp_cfg)
+
+
+__all__ = ["build_core"]

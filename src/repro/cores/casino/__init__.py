@@ -1,0 +1,19 @@
+"""CASINO core: cascaded in-order scheduling windows (the paper's
+contribution).
+
+* :mod:`repro.cores.casino.core` — the pipeline: S-IQ(s) cascaded into a
+  final in-order IQ, speculative issue with SpecInO[WS, SO] head scanning.
+* :mod:`repro.cores.casino.rename` — conditional register renaming
+  (Section III-B2/III-C2): free physical registers are allocated only to
+  speculatively-issued instructions; passed instructions share their current
+  mapping, tracked by a per-register ProducerCount.
+* :mod:`repro.cores.casino.lsu` — unified SQ/SB with sentinels and the
+  on-commit value-check (Section III-C4).
+* :mod:`repro.cores.casino.osca` — Outstanding Store Counter Array filter.
+"""
+
+from repro.cores.casino.core import CasinoCore
+from repro.cores.casino.osca import Osca
+from repro.cores.casino.rename import ConditionalRenamer
+
+__all__ = ["CasinoCore", "Osca", "ConditionalRenamer"]

@@ -1,0 +1,289 @@
+"""The CASINO core pipeline (Section III).
+
+A cascade of in-order scheduling windows: dispatch fills the first
+(speculative) S-IQ; each cycle the SpecInO window examines the S-IQ head —
+ready instructions issue immediately (allocating a fresh physical register),
+non-ready instructions are passed to the next queue (keeping their current
+mapping); the final IQ issues strictly in program order along the serial
+dependence chains.  Arbitration gives the IQ priority (its instructions are
+always the oldest).  Wider designs (Section VI-F) insert intermediate
+8-entry S-IQs between the first S-IQ and the IQ.
+
+Because both issue and pass remove the *head* of a FIFO (nothing may leave
+while an older instruction stays, or ROB allocation order would break), the
+SpecInO[WS, SO] window reduces to processing the queue head up to WS times
+per cycle with at most SO passes — exactly the behaviour of Figure 1d.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.common.params import (
+    DISAMBIG_AGI_ORDERING,
+    DISAMBIG_FULLY_OOO,
+    RENAME_CONDITIONAL,
+)
+from repro.cores.casino.lsu import CasinoLsu
+from repro.cores.casino.rename import ConditionalRenamer
+from repro.engine.core_base import CoreModel, InflightInst
+
+
+class CasinoCore(CoreModel):
+    """Table I's ``CASINO`` model (and its Figure 7/8/10/11 variants)."""
+
+    kind = "casino"
+
+    def _reset(self) -> None:
+        cfg = self.cfg
+        sizes = ([cfg.siq_size]
+                 + [cfg.intermediate_siq_size] * cfg.n_intermediate_siqs
+                 + [cfg.iq_size])
+        self.queues: List[Deque[InflightInst]] = [deque() for _ in sizes]
+        self.queue_sizes = sizes
+        self.rob: Deque[InflightInst] = deque()
+        self.renamer = ConditionalRenamer(cfg, self.stats)
+        self.lsu = CasinoLsu(cfg, self.hier, self.stats)
+        self.dbuf_used = 0
+        self._use_dbuf = cfg.rename_scheme == RENAME_CONDITIONAL
+
+    def pipeline_empty(self) -> bool:
+        return (not self.rob and self.lsu.empty
+                and all(not q for q in self.queues))
+
+    def _debug_state(self) -> str:  # pragma: no cover
+        return (f"queues={[list(q)[:3] for q in self.queues]} "
+                f"rob={len(self.rob)} sq={len(self.lsu.sq)} "
+                f"free=({self.renamer.free_int},{self.renamer.free_fp}) "
+                f"dbuf={self.dbuf_used}")
+
+    # -- cycle ----------------------------------------------------------------
+
+    def _step(self, cycle: int) -> None:
+        self.lsu.retire_head(cycle, self.fu)
+        self._commit(cycle)
+        budget = self.cfg.width
+        budget -= self._issue_iq(cycle, budget)
+        self._scan_siqs(cycle, budget)
+        self._dispatch(cycle)
+
+    # -- commit -----------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        committed = 0
+        while (self.rob and committed < self.cfg.width
+               and self.rob[0].done_at is not None
+               and self.rob[0].done_at <= cycle):
+            entry = self.rob[0]
+            inst = entry.inst
+            if inst.is_load and self.lsu.commit_load(entry, cycle):
+                # On-commit value-check failed: flush this load and all
+                # younger instructions, then re-execute.
+                self._squash(entry.seq, cycle)
+                return
+            self.rob.popleft()
+            if inst.is_store:
+                self.lsu.commit_store(entry, cycle)
+            self.renamer.commit(entry)
+            if entry.queue_tag == "dbuf":
+                self.dbuf_used -= 1
+                self.stats.add("dbuf_access")
+            self.stats.add("rob_reads")
+            self.note_commit(entry, cycle)
+            self.stats.add("committed_s_issue" if entry.from_siq
+                           else "committed_iq_issue")
+            committed += 1
+
+    # -- issue from the final in-order IQ ------------------------------------------
+
+    def _issue_iq(self, cycle: int, budget: int) -> int:
+        """Strict in-order issue at the IQ head; returns slots used."""
+        iq = self.queues[-1]
+        issued = 0
+        while iq and issued < budget:
+            entry = iq[0]
+            if not entry.ready(cycle):
+                self.stats.add("iq_stall_src")
+                break
+            needs_dbuf = (self._use_dbuf and entry.inst.dst is not None)
+            if needs_dbuf and self.dbuf_used >= self.cfg.data_buffer_size:
+                self.stats.add("iq_stall_dbuf")
+                break
+            if not self.fu.take(entry.inst.op):
+                self.stats.add("iq_stall_fu")
+                break
+            iq.popleft()
+            if needs_dbuf:
+                self.dbuf_used += 1
+                entry.queue_tag = "dbuf"
+                self.stats.add("dbuf_access")
+            self.renamer.on_iq_issue(entry)
+            self._execute(entry, cycle, from_iq=True)
+            issued += 1
+        return issued
+
+    # -- SpecInO window scan over the cascaded S-IQs ---------------------------------
+
+    def _scan_siqs(self, cycle: int, budget: int) -> None:
+        """Process each S-IQ head with the [WS, SO] window, oldest queue
+        (closest to the IQ) first."""
+        for qi in range(len(self.queues) - 2, -1, -1):
+            budget -= self._scan_one_siq(qi, cycle, budget)
+
+    def _scan_one_siq(self, qi: int, cycle: int, budget: int) -> int:
+        cfg = self.cfg
+        queue = self.queues[qi]
+        next_queue = self.queues[qi + 1]
+        next_cap = self.queue_sizes[qi + 1]
+        first = qi == 0
+        issued = 0
+        processed = 0
+        passes = 0
+        while queue and processed < cfg.specino_ws:
+            entry = queue[0]
+            if first:
+                self.stats.add("siq_examined")
+            if entry.ready(cycle):
+                if issued >= budget:
+                    break  # ready but out of issue slots: wait, don't pass
+                if not self._can_issue_spec(entry, first):
+                    # Ready but resource-blocked: waiting at the head beats
+                    # passing (footnote 1 of the paper).
+                    break
+                queue.popleft()
+                self.fu.take(entry.inst.op)
+                if first:
+                    self._leave_first_siq(entry, passed=False)
+                self._execute(entry, cycle, from_iq=False)
+                issued += 1
+                processed += 1
+                continue
+            # Not ready: try to pass it to the next queue.
+            if (passes < cfg.specino_so
+                    and len(next_queue) < next_cap
+                    and (not first or self._can_pass_first(entry))):
+                queue.popleft()
+                if first:
+                    self._leave_first_siq(entry, passed=True)
+                next_queue.append(entry)
+                self.stats.add("siq_passes")
+                passes += 1
+                processed += 1
+                continue
+            break
+        return issued
+
+    def _can_pass_first(self, entry: InflightInst) -> bool:
+        inst = entry.inst
+        if len(self.rob) >= self.cfg.rob_size:
+            return False
+        if not self.renamer.can_pass(inst.dst):
+            self.stats.add("pass_stall_rename")
+            return False
+        if inst.is_store and not self.lsu.has_store_space():
+            return False
+        return True
+
+    def _can_issue_spec(self, entry: InflightInst, first: bool) -> bool:
+        inst = entry.inst
+        if first:
+            if len(self.rob) >= self.cfg.rob_size:
+                return False
+            if not self.renamer.can_alloc(inst.dst):
+                self.stats.add("issue_stall_prf")
+                return False
+            if inst.is_store and not self.lsu.has_store_space():
+                return False
+            if inst.is_load and not self.lsu.has_load_space():
+                return False
+        if inst.is_mem and self.cfg.disambiguation == DISAMBIG_AGI_ORDERING:
+            if self._older_unissued_mem(entry.seq):
+                self.stats.add("agi_order_stalls")
+                return False
+        if not self.fu.available(inst.op):
+            return False
+        return True
+
+    def _older_unissued_mem(self, seq: int) -> bool:
+        for other in self.rob:
+            if other.seq >= seq:
+                break
+            if other.inst.is_mem and other.issue_at is None:
+                return True
+        return False
+
+    def _leave_first_siq(self, entry: InflightInst, passed: bool) -> None:
+        """Rename + allocate ROB/SQ as the instruction exits the first S-IQ."""
+        if passed:
+            self.renamer.rename_passed(entry)
+        else:
+            self.renamer.rename_speculative(entry)
+            entry.from_siq = True
+        self.rob.append(entry)
+        self.stats.add("rob_writes")
+        if entry.inst.is_store:
+            self.lsu.dispatch_store(entry)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(self, entry: InflightInst, cycle: int, from_iq: bool) -> None:
+        inst = entry.inst
+        entry.issue_at = cycle
+        if from_iq:
+            self.stats.add("issued_iq")
+            self.stats.add("issued_iq_mem" if inst.is_mem else "issued_iq_nonmem")
+        else:
+            entry.from_siq = True
+            self.stats.add("issued_spec")
+            self.stats.add("issued_spec_mem" if inst.is_mem
+                           else "issued_spec_nonmem")
+        self.stats.add("issued")
+        self.stats.add("prf_reads", len(inst.srcs))
+        if inst.dst is not None:
+            self.stats.add("prf_writes")
+        if inst.is_load:
+            forward = self.lsu.load_issued(entry, cycle, from_iq)
+            entry.forward_store = forward
+            if forward is not None:
+                entry.done_at = cycle + 2
+                self.stats.add("stl_forwards")
+            else:
+                entry.done_at = cycle + self.load_latency(entry, cycle)
+        elif inst.is_store:
+            entry.done_at = cycle + 1
+            self.lsu.store_issued(entry, cycle)
+            if self.lsu.violation_seq is not None:
+                victim = self.lsu.violation_seq
+                self.lsu.violation_seq = None
+                self._squash(victim, cycle)
+        else:
+            entry.done_at = cycle + inst.latency
+        self.resolve_branch_if_gating(entry)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        first = self.queues[0]
+        space = self.queue_sizes[0] - len(first)
+        for inst in self.fetch.pop_ready(cycle, min(space, self.cfg.width)):
+            first.append(self.make_entry(inst))
+            self.stats.add("dispatched")
+
+    # -- squash ---------------------------------------------------------------------
+
+    def _squash(self, from_seq: int, cycle: int) -> None:
+        """Flush ``from_seq`` and younger; recover RAT/ProducerCount/OSCA."""
+        # Walk the ROB young -> old, undoing rename state.
+        squashed = []
+        while self.rob and self.rob[-1].seq >= from_seq:
+            entry = self.rob.pop()
+            squashed.append(entry)
+            if entry.queue_tag == "dbuf":
+                self.dbuf_used -= 1
+        self.renamer.squash(squashed)
+        for queue in self.queues:
+            while queue and queue[-1].seq >= from_seq:
+                queue.pop()
+        self.lsu.squash(from_seq)
+        self.squash_from(from_seq, cycle)

@@ -1,0 +1,75 @@
+"""Freeway core (Kumar et al., HPCA 2019) — Section VI-A2 baseline.
+
+Load Slice Core plus dependence-aware slice scheduling: slices that depend
+on a load of an older slice are diverted into a *yielding* queue (Y-IQ), so
+independent slices in the B-IQ are not blocked by inter-slice dependences.
+Issue priority is B-IQ, then Y-IQ, then A-IQ, sharing the machine width.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.cores.lsc import LoadSliceCore
+from repro.engine.core_base import InflightInst
+
+
+class FreewayCore(LoadSliceCore):
+    """Freeway = LSC + Y-IQ."""
+
+    kind = "freeway"
+
+    def _reset(self) -> None:
+        super()._reset()
+        self.yiq: Deque[InflightInst] = deque()
+
+    def pipeline_empty(self) -> bool:
+        return super().pipeline_empty() and not self.yiq
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.cfg.width
+        budget = self._issue_queue(self.biq, cycle, budget, "b")
+        budget = self._issue_queue(self.yiq, cycle, budget, "y")
+        self._issue_queue(self.aiq, cycle, budget, "a")
+
+    def _dispatch(self, cycle: int) -> None:
+        dispatched = 0
+        while dispatched < self.cfg.width:
+            inst = self.fetch.peek_ready(cycle)
+            if inst is None or len(self.rob) >= self.cfg.rob_size:
+                break
+            to_b = self._steer_to_b(inst)
+            if to_b and self._is_dependent_slice(inst):
+                queue, cap, tag = self.yiq, self.cfg.yiq_size, "Y"
+            elif to_b:
+                queue, cap, tag = self.biq, self.cfg.biq_size, "B"
+            else:
+                queue, cap, tag = self.aiq, self.cfg.aiq_size, "A"
+            if len(queue) >= cap:
+                break
+            self.fetch.pop_ready(cycle, 1)
+            self._learn(inst)
+            entry = self.make_entry(inst)
+            entry.queue_tag = tag
+            queue.append(entry)
+            self.rob.append(entry)
+            if inst.dst is not None:
+                self.reg_writer_pc[inst.dst] = inst.pc
+            dispatched += 1
+            self.stats.add("dispatched")
+            if tag == "Y":
+                self.stats.add("yiq_steered")
+
+    def _is_dependent_slice(self, inst) -> bool:
+        """A slice instruction whose value depends on an outstanding load of
+        an older slice yields (it would stall the B-IQ head otherwise)."""
+        for src in inst.srcs:
+            writer = self.last_writer.get(src)
+            if writer is None or writer.committed:
+                continue
+            if writer.inst.is_load and writer.done_at is None:
+                return True
+            if writer.queue_tag == "Y" and writer.issue_at is None:
+                return True
+        return False

@@ -1,0 +1,138 @@
+"""Baseline stall-on-use in-order core (Section III-A).
+
+Strictly in-order issue from a 16-entry IQ; the pipeline stalls only when
+the instruction at the IQ head has unready sources (so independent work
+behind a cache-missing load keeps issuing until its *consumer* reaches the
+head).  A small scoreboard (SCB) window enforces in-order write-back/commit,
+and committed stores drain through a 4-entry store buffer into the L1D.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.engine.core_base import CoreModel, InflightInst
+
+
+class InOrderCore(CoreModel):
+    """Table I's ``InO`` model."""
+
+    kind = "ino"
+
+    def _reset(self) -> None:
+        self.iq: Deque[InflightInst] = deque()
+        self.scb: Deque[InflightInst] = deque()   # issued, in-order completion
+        self.sb: Deque[InflightInst] = deque()    # committed stores to retire
+
+    def pipeline_empty(self) -> bool:
+        return not self.iq and not self.scb and not self.sb
+
+    def _debug_state(self) -> str:  # pragma: no cover
+        return (f"iq={list(self.iq)[:4]} scb={list(self.scb)[:4]} "
+                f"sb={len(self.sb)}")
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def _step(self, cycle: int) -> None:
+        self._retire_stores(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+
+    def _retire_stores(self, cycle: int) -> None:
+        """Drain the store-buffer head into the L1D (one per cycle); a
+        write miss holds the entry until its fill (started at commit)
+        arrives."""
+        if not self.sb:
+            return
+        head = self.sb[0]
+        if not self.store_fill_arrived(head, cycle):
+            return
+        if not self.fu.take_store_port():
+            return
+        self.sb.popleft()
+        self.stats.add("sb_retires")
+
+    def _commit(self, cycle: int) -> None:
+        """In-order write-back/commit from the SCB head."""
+        committed = 0
+        while (self.scb and committed < self.cfg.width
+               and self.scb[0].done_at is not None
+               and self.scb[0].done_at <= cycle):
+            entry = self.scb[0]
+            if entry.inst.is_store:
+                if len(self.sb) >= self.cfg.sq_sb_size:
+                    self.stats.add("sb_full_stalls")
+                    break
+                self.sb.append(entry)
+                self.start_store_fill(entry, cycle)
+                self.stats.add("sb_writes")
+            self.scb.popleft()
+            self.note_commit(entry, cycle)
+            self.stats.add("scb_access")
+            committed += 1
+
+    def _issue(self, cycle: int) -> None:
+        """Strict in-order issue: stop at the first non-issuable head."""
+        issued = 0
+        while self.iq and issued < self.cfg.width:
+            entry = self.iq[0]
+            if not entry.ready(cycle):
+                self.stats.add("issue_stall_src")
+                break
+            if len(self.scb) >= self.cfg.scb_size:
+                self.stats.add("issue_stall_scb")
+                break
+            if not self.fu.take(entry.inst.op):
+                self.stats.add("issue_stall_fu")
+                break
+            self.iq.popleft()
+            self._execute(entry, cycle)
+            self.scb.append(entry)
+            issued += 1
+            self.stats.add("issued")
+            self.stats.add("scb_access")
+
+    def _execute(self, entry: InflightInst, cycle: int) -> None:
+        inst = entry.inst
+        entry.issue_at = cycle
+        if inst.is_load:
+            forward = self._forwarding_store(entry)
+            if forward is not None:
+                entry.done_at = cycle + 2  # store->load forward
+                entry.forward_store = forward
+                self.stats.add("stl_forwards")
+            else:
+                entry.done_at = cycle + self.load_latency(entry, cycle)
+        elif inst.is_store:
+            entry.done_at = cycle + 1  # address+data move to the SQ/SB path
+        else:
+            entry.done_at = cycle + inst.latency
+        self.resolve_branch_if_gating(entry)
+
+    def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:
+        """Youngest older store (SCB or SB) writing the load's bytes.
+
+        All older instructions have issued (in-order issue), so every older
+        store address is resolved: InO needs no speculation machinery.
+        """
+        self.stats.add("sb_search")
+        best = None
+        for store in self.scb:
+            if store.inst.is_store and store.seq < load.seq \
+                    and store.inst.overlaps(load.inst):
+                if best is None or store.seq > best.seq:
+                    best = store
+        if best is None:
+            for store in self.sb:
+                if store.inst.overlaps(load.inst):
+                    if best is None or store.seq > best.seq:
+                        best = store
+        return best
+
+    def _dispatch(self, cycle: int) -> None:
+        space = self.cfg.iq_size - len(self.iq)
+        for inst in self.fetch.pop_ready(cycle, min(space, self.cfg.width)):
+            self.iq.append(self.make_entry(inst))
+            self.stats.add("dispatched")

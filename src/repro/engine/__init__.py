@@ -1,0 +1,7 @@
+"""Cycle-level simulation engine shared by all core models."""
+
+from repro.engine.stream import InstStream
+from repro.engine.core_base import CoreModel, InflightInst
+from repro.engine.funits import FuPool
+
+__all__ = ["InstStream", "CoreModel", "InflightInst", "FuPool"]

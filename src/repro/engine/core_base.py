@@ -1,0 +1,268 @@
+"""Common machinery for every timing core model.
+
+A core consumes a :class:`~repro.engine.stream.InstStream` through a
+:class:`~repro.frontend.fetch.FetchUnit` and simulates its back end cycle by
+cycle.  Subclasses implement the scheduling pipeline (dispatch / issue /
+commit); this base class owns the run loop, the memory hierarchy, the
+functional-unit pool, squash plumbing and the dataflow bookkeeping shared by
+all models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.common.params import (
+    BranchPredictorConfig,
+    CoreConfig,
+    MemoryConfig,
+)
+from repro.common.stats import Stats
+from repro.engine.funits import FuPool
+from repro.engine.stream import InstStream
+from repro.frontend.fetch import FetchUnit
+from repro.isa.instruction import DynInst
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation deadlocks or exceeds its cycle budget."""
+
+
+class InflightInst:
+    """Per-core record of one in-flight dynamic instruction.
+
+    The same :class:`DynInst` may be wrapped more than once across squashes;
+    all scheduling state lives here, never on the trace record.
+    """
+
+    __slots__ = (
+        "inst", "seq", "producers", "done_at", "issue_at", "committed",
+        "fill_ready",
+        # register renaming state
+        "phys", "prev_phys", "fresh_phys", "from_siq",
+        # memory state
+        "unresolved_older", "forward_store", "sentinel_on", "osca_skipped",
+        # slice-core steering tag ('A' / 'B' / 'Y')
+        "queue_tag",
+    )
+
+    def __init__(self, inst: DynInst,
+                 producers: Sequence["InflightInst"]) -> None:
+        self.inst = inst
+        self.seq = inst.seq
+        self.producers = list(producers)
+        self.done_at: Optional[int] = None
+        self.issue_at: Optional[int] = None
+        self.committed = False
+        self.fill_ready: Optional[int] = None  # store line-fill (RFO) arrival
+        self.phys: Optional[int] = None
+        self.prev_phys: Optional[int] = None
+        self.fresh_phys = False
+        self.from_siq = False
+        self.unresolved_older: Optional[list] = None
+        self.forward_store: Optional["InflightInst"] = None
+        self.sentinel_on: Optional["InflightInst"] = None
+        self.osca_skipped = False
+        self.queue_tag = ""
+
+    def ready(self, cycle: int) -> bool:
+        """All source operands available by ``cycle``?"""
+        for producer in self.producers:
+            if producer.done_at is None or producer.done_at > cycle:
+                return False
+        return True
+
+    def ready_ignoring_loads(self, cycle: int) -> bool:
+        """Readiness treating pending *memory* producers as blockers too —
+        used by limit models that distinguish ILP from MLP."""
+        return self.ready(cycle)
+
+    @property
+    def resolved(self) -> bool:
+        """For memory ops: has the address been computed (issued)?"""
+        return self.issue_at is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("C" if self.committed else
+                 "D" if self.done_at is not None else
+                 "I" if self.issue_at is not None else "W")
+        return f"<#{self.seq} {self.inst.op.name} {state}>"
+
+
+class CoreModel:
+    """Abstract timing core.  Subclasses implement ``_reset``, ``_step`` and
+    ``pipeline_empty`` and do their own dispatch/issue/commit inside
+    ``_step``."""
+
+    kind = "base"
+
+    def __init__(self, cfg: CoreConfig,
+                 mem_cfg: Optional[MemoryConfig] = None,
+                 bp_cfg: Optional[BranchPredictorConfig] = None) -> None:
+        self.cfg = cfg
+        self.mem_cfg = mem_cfg if mem_cfg is not None else MemoryConfig()
+        self.bp_cfg = bp_cfg if bp_cfg is not None else BranchPredictorConfig()
+        self.stats = Stats()
+        self.cycle = 0
+        #: When enabled (``record_schedule=True`` on :meth:`run`), one
+        #: ``(seq, inst, issue_at, done_at, commit_at, from_siq)`` tuple is
+        #: appended per committed instruction.
+        self.schedule: Optional[list] = None
+        # Populated by reset():
+        self.hier: Optional[MemoryHierarchy] = None
+        self.stream: Optional[InstStream] = None
+        self.fetch: Optional[FetchUnit] = None
+        self.fu: Optional[FuPool] = None
+        self.last_writer: Dict[int, InflightInst] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self, trace: Sequence[DynInst]) -> None:
+        """Prepare to simulate ``trace`` from a cold state."""
+        self.stats = Stats()
+        self.hier = MemoryHierarchy(self.mem_cfg, self.stats)
+        self.stream = InstStream(trace)
+        self.fetch = FetchUnit(self.cfg, self.stream, self.hier,
+                               self.bp_cfg, self.stats)
+        self.fu = FuPool(self.cfg)
+        self.cycle = 0
+        self.last_writer = {}
+        self._last_commit_cycle = 0
+        self._expected_commit_seq = 0
+        if self.schedule is not None:
+            self.schedule = []
+        self._reset()
+
+    def run(self, trace: Sequence[DynInst], max_cycles: int = 50_000_000,
+            warmup: int = 0, warm_icache: bool = False,
+            record_schedule: bool = False) -> Stats:
+        """Simulate the whole trace; returns the statistics bag.
+
+        ``warmup`` discards the counters accumulated while committing the
+        first N instructions (caches, predictors and DRAM state stay warm),
+        mirroring the paper's warm-up-then-measure methodology.
+        ``warm_icache`` pre-installs every code line (for microbenchmarks
+        whose timing should not include cold instruction fetch).
+        ``record_schedule`` keeps a per-instruction (issue, complete,
+        commit) log for :mod:`repro.harness.timeline` rendering.
+        """
+        self.schedule = [] if record_schedule else None
+        self.reset(trace)
+        if warm_icache:
+            for line in {inst.pc >> 6 for inst in trace}:
+                self.hier.l1i.install_prefetch(line << 6, fill_at=-1)
+        cycle = 0
+        warm_snapshot = None
+        warm_cycle = 0
+        while not (self.fetch.drained and self.pipeline_empty()):
+            self.cycle = cycle
+            self.fu.reset()
+            self._step(cycle)
+            self.fetch.tick(cycle)
+            cycle += 1
+            if (warmup and warm_snapshot is None
+                    and self.stats.counters.get("committed", 0) >= warmup):
+                warm_snapshot = dict(self.stats.counters)
+                warm_cycle = cycle
+            if cycle - self._last_commit_cycle > 100_000:
+                raise SimulationError(
+                    f"{self.cfg.name}: no commit for 100000 cycles at "
+                    f"cycle {cycle} (deadlock?) - {self._debug_state()}")
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"{self.cfg.name}: exceeded {max_cycles} cycles")
+        self.stats.add("cycles", cycle)
+        if warm_snapshot is not None:
+            for key, value in warm_snapshot.items():
+                self.stats.counters[key] -= value
+            self.stats.counters["cycles"] = cycle - warm_cycle
+        return self.stats
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    def _reset(self) -> None:
+        raise NotImplementedError
+
+    def _step(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def pipeline_empty(self) -> bool:
+        raise NotImplementedError
+
+    def _debug_state(self) -> str:  # pragma: no cover - diagnostics only
+        return ""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def make_entry(self, inst: DynInst) -> InflightInst:
+        """Wrap a dispatched instruction, wiring true register dependences
+        from the program-order last-writer map."""
+        producers = []
+        for src in inst.srcs:
+            writer = self.last_writer.get(src)
+            if writer is not None:
+                producers.append(writer)
+        entry = InflightInst(inst, producers)
+        if inst.dst is not None:
+            self.last_writer[inst.dst] = entry
+        return entry
+
+    def note_commit(self, entry: InflightInst, cycle: int) -> None:
+        """Common commit bookkeeping.  Asserts program-order commit — the
+        architectural-correctness invariant every core must uphold."""
+        if entry.seq != self._expected_commit_seq:
+            raise SimulationError(
+                f"{self.cfg.name}: out-of-order commit: expected seq "
+                f"{self._expected_commit_seq}, got {entry.seq}")
+        self._expected_commit_seq = entry.seq + 1
+        entry.committed = True
+        self.stats.add("committed")
+        self._last_commit_cycle = cycle
+        if self.schedule is not None:
+            self.schedule.append((entry.seq, entry.inst, entry.issue_at,
+                                  entry.done_at, cycle, entry.from_siq))
+        if self.last_writer.get(entry.inst.dst) is entry:
+            # Keep the map small: a committed producer is always ready.
+            del self.last_writer[entry.inst.dst]
+
+    def resolve_branch_if_gating(self, entry: InflightInst) -> None:
+        """Unblock fetch when the gating mispredicted branch gets a
+        completion time."""
+        if (entry.inst.is_branch and self.fetch.blocked_seq == entry.seq
+                and entry.done_at is not None):
+            self.fetch.resolve_branch(entry.seq, entry.done_at)
+
+    def load_latency(self, entry: InflightInst, cycle: int) -> int:
+        """Latency of a load that goes to the L1D at ``cycle``."""
+        return self.hier.load(entry.inst.mem_addr, cycle)
+
+    def start_store_fill(self, entry: InflightInst, cycle: int) -> None:
+        """Begin the write-allocate fill (RFO) for a committing store, so
+        the fill overlaps with whatever else is in flight; retirement later
+        waits for ``entry.fill_ready``."""
+        latency = self.hier.store(entry.inst.mem_addr, cycle)
+        hit = self.hier.l1d.cfg.latency
+        entry.fill_ready = cycle + max(0, latency - hit)
+
+    def store_fill_arrived(self, entry: InflightInst, cycle: int) -> bool:
+        return entry.fill_ready is not None and cycle >= entry.fill_ready
+
+    def squash_from(self, from_seq: int, cycle: int) -> None:
+        """Rewind fetch to ``from_seq``; subclasses clear their structures
+        and must drop ``last_writer`` entries for squashed instructions
+        via :meth:`clean_last_writers`."""
+        self.stats.add("squashes")
+        self.fetch.squash(from_seq, cycle + self.cfg.mispredict_penalty)
+        self.clean_last_writers(from_seq)
+
+    def clean_last_writers(self, from_seq: int) -> None:
+        """Drop last-writer links produced by squashed instructions.
+
+        After a squash the architectural value of those registers is the one
+        produced by the newest *surviving* writer; the map conservatively
+        falls back to "ready" (squashed producers never gate anyone)."""
+        stale = [reg for reg, entry in self.last_writer.items()
+                 if entry.seq >= from_seq]
+        for reg in stale:
+            del self.last_writer[reg]

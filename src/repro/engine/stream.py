@@ -1,0 +1,55 @@
+"""Rewindable dynamic instruction stream.
+
+Wraps a pre-generated trace (list of :class:`~repro.isa.instruction.DynInst`)
+and assigns each record its dynamic sequence number.  A squash (memory-order
+violation) rewinds the cursor so the same records are re-fetched with the
+same sequence numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.instruction import DynInst
+
+
+class InstStream:
+    """Program-order instruction supply with squash/rewind support."""
+
+    def __init__(self, trace: Sequence[DynInst]) -> None:
+        self.trace: List[DynInst] = list(trace)
+        for seq, inst in enumerate(self.trace):
+            inst.seq = seq
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every instruction has been fetched (pipeline may still
+        hold in-flight work)."""
+        return self.cursor >= len(self.trace)
+
+    def peek(self) -> Optional[DynInst]:
+        """The next instruction to fetch, without consuming it."""
+        if self.cursor >= len(self.trace):
+            return None
+        return self.trace[self.cursor]
+
+    def fetch(self) -> Optional[DynInst]:
+        """Consume and return the next instruction (None at end of trace)."""
+        if self.cursor >= len(self.trace):
+            return None
+        inst = self.trace[self.cursor]
+        self.cursor += 1
+        return inst
+
+    def rewind(self, seq: int) -> None:
+        """Move the cursor back so that ``seq`` is the next fetched record."""
+        if seq < 0 or seq > len(self.trace):
+            raise ValueError(f"rewind target {seq} out of range")
+        if seq > self.cursor:
+            raise ValueError(
+                f"cannot rewind forward (cursor={self.cursor}, seq={seq})")
+        self.cursor = seq

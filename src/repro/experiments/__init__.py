@@ -1,0 +1,10 @@
+"""Experiment drivers — one module per figure of the paper's evaluation.
+
+Every module exposes ``run(runner=None, profiles=None)`` returning a plain
+dict of results, and ``main()`` that prints the same rows/series the paper
+reports.  ``python -m repro.experiments.fig6_ipc`` regenerates Figure 6, etc.
+"""
+
+from repro.experiments.common import QUICK_APPS, make_runner, quick_profiles
+
+__all__ = ["QUICK_APPS", "make_runner", "quick_profiles"]

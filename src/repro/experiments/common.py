@@ -1,0 +1,43 @@
+"""Shared experiment defaults.
+
+The paper simulates 300M-instruction SimPoints; a pure-Python model runs
+24k-instruction traces (6k warm-up) per application instead.  ``QUICK_APPS``
+is a representative 8-app subset (memory-bound, compute-bound, branchy,
+aliasing-heavy, streaming, FP-chain) used by the pytest benchmarks so a full
+bench sweep stays in CI-friendly time; ``main()`` drivers default to the
+full 25-application suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.harness.runner import Runner
+from repro.workloads.generator import WorkloadProfile
+from repro.workloads.suite import SUITE, suite_profiles
+
+#: Representative subset spanning the behaviour space of the suite.
+QUICK_APPS = ["hmmer", "mcf", "cactusADM", "h264ref", "libquantum",
+              "gcc", "bwaves", "milc"]
+
+DEFAULT_N_INSTRS = 24_000
+DEFAULT_WARMUP = 6_000
+
+
+def make_runner(n_instrs: int = DEFAULT_N_INSTRS,
+                warmup: int = DEFAULT_WARMUP) -> Runner:
+    """A fresh memoising runner with the standard trace length."""
+    return Runner(n_instrs=n_instrs, warmup=warmup)
+
+
+def quick_profiles() -> List[WorkloadProfile]:
+    """The representative 8-app subset."""
+    return [SUITE[name] for name in QUICK_APPS]
+
+
+def default_profiles(full: Optional[bool] = None) -> List[WorkloadProfile]:
+    """Full 25-app suite, or the quick subset when ``REPRO_QUICK=1``."""
+    if full is None:
+        full = os.environ.get("REPRO_QUICK", "0") != "1"
+    return suite_profiles("all") if full else quick_profiles()

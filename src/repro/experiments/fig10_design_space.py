@@ -1,0 +1,87 @@
+"""Figure 10 — design-space exploration of the speculative issue policy.
+
+(a) IQ-size sweep (4..20 entries) with the committed-instruction breakdown
+by issue source (S-Issue vs Issue) under SpecInO[2,1] with generous other
+resources.  Paper: performance peaks at 12 IQ entries; the Issue fraction
+grows with IQ size.
+
+(b) [WS, SO] sweep.  Paper: performance peaks around SpecInO[2,1].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.params import make_casino_config
+from repro.common.stats import geomean
+from repro.experiments.common import default_profiles, make_runner
+from repro.harness.runner import Runner
+from repro.harness.tables import format_table
+
+IQ_SIZES = (4, 8, 12, 16, 20)
+WS_SO = ((1, 1), (2, 1), (2, 2), (3, 1), (3, 3), (4, 2))
+
+
+def _generous(cfg):
+    """Unlimited-other-resources variant used by the paper's sweep."""
+    return dataclasses.replace(cfg, prf_int=128, prf_fp=64, rob_size=128,
+                               sq_sb_size=16, data_buffer_size=16,
+                               siq_size=8)
+
+
+def run_iq_sweep(runner: Optional[Runner] = None,
+                 profiles: Optional[Sequence] = None) -> Dict[int, Dict[str, float]]:
+    runner = runner or make_runner()
+    profiles = profiles if profiles is not None else default_profiles()
+    out: Dict[int, Dict[str, float]] = {}
+    for iq_size in IQ_SIZES:
+        cfg = _generous(dataclasses.replace(
+            make_casino_config(), name=f"casino-iq{iq_size}", iq_size=iq_size))
+        ipcs: List[float] = []
+        s_issue = iq_issue = 0.0
+        for profile in profiles:
+            res = runner.run(cfg, profile)
+            ipcs.append(res.ipc)
+            s_issue += res.stats.get("committed_s_issue")
+            iq_issue += res.stats.get("committed_iq_issue")
+        total = max(1.0, s_issue + iq_issue)
+        out[iq_size] = {"perf": geomean(ipcs),
+                        "s_issue_frac": s_issue / total,
+                        "iq_issue_frac": iq_issue / total}
+    base = out[IQ_SIZES[0]]["perf"]
+    for row in out.values():
+        row["speedup"] = row["perf"] / base
+    return out
+
+
+def run_ws_so_sweep(runner: Optional[Runner] = None,
+                    profiles: Optional[Sequence] = None
+                    ) -> Dict[Tuple[int, int], float]:
+    runner = runner or make_runner()
+    profiles = profiles if profiles is not None else default_profiles()
+    out: Dict[Tuple[int, int], float] = {}
+    for ws, so in WS_SO:
+        cfg = dataclasses.replace(make_casino_config(),
+                                  name=f"casino[{ws},{so}]",
+                                  specino_ws=ws, specino_so=so)
+        out[(ws, so)] = geomean(runner.run(cfg, p).ipc for p in profiles)
+    base = out[WS_SO[0]]
+    return {key: value / base for key, value in out.items()}
+
+
+def main() -> None:
+    iq = run_iq_sweep()
+    print("Figure 10a: IQ-size sweep (SpecInO[2,1], generous resources)")
+    print(format_table(
+        ["IQ size", "perf (rel to 4)", "S-Issue frac", "Issue frac"],
+        [[n, r["speedup"], r["s_issue_frac"], r["iq_issue_frac"]]
+         for n, r in iq.items()]))
+    ws = run_ws_so_sweep()
+    print("\nFigure 10b: [WS, SO] sweep (relative to [1,1])")
+    print(format_table(["WS", "SO", "perf"],
+                       [[w, s, v] for (w, s), v in ws.items()]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 6 — per-application IPC of LSC, Freeway, CASINO and OoO
+normalised to the InO baseline.
+
+Paper anchors: geomeans LSC +28%, Freeway +34%, CASINO +51%, OoO +68%;
+CASINO's largest win on cactusADM (~+89%); CASINO slightly beats OoO on
+h264ref (frequent memory-order violations on the OoO core).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.common.params import (
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+)
+from repro.common.stats import geomean
+from repro.experiments.common import default_profiles, make_runner
+from repro.harness.runner import Runner
+from repro.harness.tables import format_table
+
+
+def run(runner: Optional[Runner] = None,
+        profiles: Optional[Sequence] = None) -> Dict[str, Dict[str, float]]:
+    """Returns {model: {app: speedup over InO}} plus a ``geomean`` entry."""
+    runner = runner or make_runner()
+    profiles = profiles if profiles is not None else default_profiles()
+    baseline = make_ino_config()
+    models = [make_lsc_config(), make_freeway_config(),
+              make_casino_config(), make_ooo_config()]
+    speedups = runner.speedups(models, profiles, baseline)
+    for name in list(speedups):
+        speedups[name] = dict(speedups[name])
+        speedups[name]["geomean"] = geomean(
+            v for k, v in speedups[name].items() if k != "geomean")
+    return speedups
+
+
+def main() -> None:
+    from repro.harness.tables import format_bars
+    results = run()
+    models = list(results)
+    apps = [a for a in results[models[0]] if a != "geomean"] + ["geomean"]
+    rows = [[app] + [results[m][app] for m in models] for app in apps]
+    print("Figure 6: IPC normalised to InO")
+    print(format_table(["app"] + models, rows, float_fmt="{:.2f}"))
+    print("\ngeomeans:")
+    print(format_bars({"ino": 1.0,
+                       **{m: results[m]["geomean"] for m in models}}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Figure 9 — core area and energy consumption.
+
+(a) Core area of InO, CASINO and OoO broken down by structure group
+(paper: CASINO ~+5% over InO; area-normalised performance of CASINO is
+~43% / ~16% better than InO / OoO).
+
+(b) Total energy (static + dynamic) over the suite, including the
+OoO+NoLQ variant (paper: CASINO ~+22% energy vs InO and ~-37% vs OoO;
+OoO+NoLQ saves ~8% of OoO's energy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.common.params import (
+    DISAMBIG_NOLQ,
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.common.stats import geomean
+from repro.experiments.common import default_profiles, make_runner
+from repro.harness.runner import Runner
+from repro.harness.tables import format_table
+from repro.power.accounting import build_power_model
+
+
+def variants():
+    ooo_nolq = dataclasses.replace(make_ooo_config(), name="ooo+nolq",
+                                   disambiguation=DISAMBIG_NOLQ)
+    return [make_ino_config(), make_casino_config(), make_ooo_config(),
+            ooo_nolq]
+
+
+def run(runner: Optional[Runner] = None,
+        profiles: Optional[Sequence] = None) -> Dict[str, Dict[str, float]]:
+    """Per core: area (mm2 + relative), energy (relative), perf/area."""
+    runner = runner or make_runner()
+    profiles = profiles if profiles is not None else default_profiles()
+    raw: Dict[str, Dict[str, float]] = {}
+    for cfg in variants():
+        model = build_power_model(cfg)
+        energy = 0.0
+        ipcs = []
+        groups: Dict[str, float] = {}
+        for profile in profiles:
+            res = runner.run(cfg, profile)
+            energy += res.energy.total_j
+            ipcs.append(res.ipc)
+            for group, joules in res.energy.by_group.items():
+                groups[group] = groups.get(group, 0.0) + joules
+        raw[cfg.name] = {"area": model.area_mm2(), "energy": energy,
+                         "perf": geomean(ipcs), "groups": groups,
+                         "area_groups": model.area_by_group()}
+    base = raw["ino"]
+    out: Dict[str, Dict[str, float]] = {}
+    for name, row in raw.items():
+        out[name] = {
+            "area_mm2": row["area"],
+            "area_rel": row["area"] / base["area"],
+            "energy_rel": row["energy"] / base["energy"],
+            "perf_rel": row["perf"] / base["perf"],
+            "perf_per_area": ((row["perf"] / base["perf"])
+                              / (row["area"] / base["area"])),
+            "groups": row["groups"],
+            "area_groups": row["area_groups"],
+        }
+    return out
+
+
+def main() -> None:
+    results = run()
+    rows = [[name, r["area_mm2"], r["area_rel"], r["energy_rel"],
+             r["perf_rel"], r["perf_per_area"]]
+            for name, r in results.items()]
+    print("Figure 9: area and energy (relative to InO)")
+    print(format_table(
+        ["core", "area mm2", "area", "energy", "perf", "perf/area"], rows))
+    # Stacked-bar data: energy breakdown by structure group (Figure 9b).
+    print("\nEnergy breakdown by group (fraction of each core's total):")
+    groups = sorted({g for r in results.values() for g in r["groups"]})
+    brows = []
+    for name, r in results.items():
+        total = sum(r["groups"].values())
+        brows.append([name] + [r["groups"].get(g, 0.0) / total
+                               for g in groups])
+    print(format_table(["core"] + groups, brows, float_fmt="{:.3f}"))
+
+
+if __name__ == "__main__":
+    main()

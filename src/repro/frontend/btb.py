@@ -1,0 +1,44 @@
+"""Branch target buffer: 512 sets, 4-way set-associative (Table I)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.stats import Stats
+
+
+class Btb:
+    """Set-associative BTB with LRU replacement storing branch targets."""
+
+    def __init__(self, n_sets: int = 512, n_ways: int = 4,
+                 stats: Optional[Stats] = None) -> None:
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.stats = stats if stats is not None else Stats()
+        # set -> {pc: (target, stamp)}
+        self.sets: Dict[int, Dict[int, tuple]] = {}
+        self._stamp = 0
+
+    def _set_idx(self, pc: int) -> int:
+        return (pc >> 2) % self.n_sets
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target of the branch at ``pc`` (None on a BTB miss)."""
+        ways = self.sets.get(self._set_idx(pc))
+        self.stats.add("btb_lookups")
+        if ways is None or pc not in ways:
+            self.stats.add("btb_misses")
+            return None
+        target, _ = ways[pc]
+        self._stamp += 1
+        ways[pc] = (target, self._stamp)
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for the branch at ``pc``."""
+        ways = self.sets.setdefault(self._set_idx(pc), {})
+        self._stamp += 1
+        if pc not in ways and len(ways) >= self.n_ways:
+            victim = min(ways, key=lambda k: ways[k][1])
+            del ways[victim]
+        ways[pc] = (target, self._stamp)

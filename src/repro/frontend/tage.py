@@ -1,0 +1,140 @@
+"""TAGE branch direction predictor (Table I configuration).
+
+One bimodal base predictor plus four partially-tagged tables indexed by
+hashes of the PC and geometrically increasing slices of a 17-bit global
+history register.  Implements the standard TAGE machinery: provider /
+alternate selection, useful counters, and entry allocation on mispredictions
+(Seznec & Michaud).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import BranchPredictorConfig
+from repro.common.stats import Stats
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.ctr = 0      # signed 3-bit: -4..3, taken when >= 0
+        self.useful = 0   # 2-bit
+
+
+class Tage:
+    """TAGE with a bimodal base table and ``n_tagged`` tagged components."""
+
+    def __init__(self, cfg: Optional[BranchPredictorConfig] = None,
+                 stats: Optional[Stats] = None) -> None:
+        self.cfg = cfg if cfg is not None else BranchPredictorConfig()
+        self.stats = stats if stats is not None else Stats()
+        c = self.cfg
+        self.bimodal = [2] * (1 << c.bimodal_bits)  # 2-bit, weakly taken
+        self.tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(1 << c.tagged_bits)]
+            for _ in range(c.n_tagged)
+        ]
+        self.ghr = 0
+        self._ghr_mask = (1 << c.ghr_bits) - 1
+        self._alloc_tick = 0
+
+    # -- hashing -------------------------------------------------------------
+
+    def _fold(self, history: int, bits: int, out_bits: int) -> int:
+        """Fold ``bits`` of history into ``out_bits``."""
+        history &= (1 << bits) - 1
+        folded = 0
+        while bits > 0:
+            folded ^= history & ((1 << out_bits) - 1)
+            history >>= out_bits
+            bits -= out_bits
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        c = self.cfg
+        hist = self._fold(self.ghr, c.history_lengths[table], c.tagged_bits)
+        return (pc ^ (pc >> (table + 2)) ^ hist) & ((1 << c.tagged_bits) - 1)
+
+    def _tag(self, pc: int, table: int) -> int:
+        c = self.cfg
+        hist = self._fold(self.ghr, c.history_lengths[table], c.tag_bits)
+        return ((pc >> 2) ^ (pc >> (table + 5)) ^ (hist << 1)) & ((1 << c.tag_bits) - 1)
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        provider, _, pred, _ = self._lookup(pc)
+        self.stats.add("bp_lookups")
+        return pred
+
+    def _lookup(self, pc: int):
+        """Return (provider_table or None, provider_idx, prediction, altpred)."""
+        provider = None
+        provider_idx = 0
+        alt = self._bimodal_pred(pc)
+        pred = alt
+        for t in range(self.cfg.n_tagged - 1, -1, -1):
+            idx = self._index(pc, t)
+            entry = self.tables[t][idx]
+            if entry.tag == self._tag(pc, t):
+                if provider is None:
+                    provider, provider_idx = t, idx
+                    pred = entry.ctr >= 0
+                else:
+                    alt = entry.ctr >= 0
+                    break
+        return provider, provider_idx, pred, alt
+
+    def _bimodal_pred(self, pc: int) -> bool:
+        return self.bimodal[(pc >> 2) & ((1 << self.cfg.bimodal_bits) - 1)] >= 2
+
+    # -- update ----------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the actual outcome and advance the global history."""
+        provider, provider_idx, pred, alt = self._lookup(pc)
+        correct = pred == taken
+        self.stats.add("bp_correct" if correct else "bp_mispredicts")
+        if provider is not None:
+            entry = self.tables[provider][provider_idx]
+            entry.ctr = _sat(entry.ctr + (1 if taken else -1), -4, 3)
+            if pred != alt:
+                entry.useful = _sat(entry.useful + (1 if correct else -1), 0, 3)
+        else:
+            idx = (pc >> 2) & ((1 << self.cfg.bimodal_bits) - 1)
+            self.bimodal[idx] = _sat(self.bimodal[idx] + (1 if taken else -1), 0, 3)
+        if not correct:
+            self._allocate(pc, taken, provider)
+        self.ghr = ((self.ghr << 1) | int(taken)) & self._ghr_mask
+
+    def _allocate(self, pc: int, taken: bool, provider: Optional[int]) -> None:
+        """On a mispredict, claim an entry in a longer-history table."""
+        start = (provider + 1) if provider is not None else 0
+        self._alloc_tick += 1
+        for t in range(start, self.cfg.n_tagged):
+            idx = self._index(pc, t)
+            entry = self.tables[t][idx]
+            if entry.useful == 0:
+                entry.tag = self._tag(pc, t)
+                entry.ctr = 0 if taken else -1
+                entry.useful = 0
+                return
+        # Nothing free: age useful counters (graceful degradation).
+        if self._alloc_tick % 4 == 0:
+            for t in range(start, self.cfg.n_tagged):
+                idx = self._index(pc, t)
+                self.tables[t][idx].useful = max(
+                    0, self.tables[t][idx].useful - 1)
+
+    @property
+    def mispredict_rate(self) -> float:
+        total = self.stats.get("bp_correct") + self.stats.get("bp_mispredicts")
+        return self.stats.get("bp_mispredicts") / total if total else 0.0
+
+
+def _sat(value: int, lo: int, hi: int) -> int:
+    return lo if value < lo else hi if value > hi else value

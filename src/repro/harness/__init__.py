@@ -1,0 +1,20 @@
+"""Experiment harness: memoised runs, comparisons, tables, timelines,
+JSON export."""
+
+from repro.harness.export import jsonable, read_json, write_json
+from repro.harness.runner import RunResult, Runner
+from repro.harness.tables import format_bars, format_series, format_table
+from repro.harness.timeline import issue_order, render_timeline
+
+__all__ = [
+    "Runner",
+    "RunResult",
+    "format_table",
+    "format_series",
+    "format_bars",
+    "render_timeline",
+    "issue_order",
+    "jsonable",
+    "read_json",
+    "write_json",
+]

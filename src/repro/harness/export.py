@@ -1,0 +1,52 @@
+"""Export experiment results to JSON (plot-ready, stable key order).
+
+Experiment ``run()`` functions return plain dicts, sometimes keyed by
+tuples (e.g. Figure 11's ``(core, width)``); this module normalises those
+into JSON-safe structures so downstream notebooks can regenerate the
+paper's plots without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert an experiment result into JSON-safe data.
+
+    Tuple dict-keys become ``"a/b"`` strings; numpy scalars and other
+    numerics are coerced via float when needed.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(key, tuple):
+                key = "/".join(str(part) for part in key)
+            elif not isinstance(key, str):
+                key = str(key)
+            out[key] = jsonable(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def write_json(results: Any, path: Union[str, Path]) -> None:
+    """Write normalised ``results`` to ``path`` as pretty JSON."""
+    with open(path, "w") as fh:
+        json.dump(jsonable(results), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,107 @@
+"""Memoised simulation runner.
+
+Running 25 applications across half a dozen core models is the unit of work
+behind every figure; the :class:`Runner` caches traces per profile and
+statistics per (core-config, workload) pair so the figure drivers and the
+pytest benchmarks can share work within a process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.common.params import CoreConfig, MemoryConfig
+from repro.common.stats import Stats, geomean
+from repro.cores import build_core
+from repro.power.accounting import EnergyReport, build_power_model
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+
+
+@dataclass
+class RunResult:
+    """One (core, application) simulation with derived metrics."""
+
+    core: CoreConfig
+    app: str
+    stats: Stats
+    energy: EnergyReport
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def _cfg_key(cfg: CoreConfig) -> str:
+    return repr(sorted(dataclasses.asdict(cfg).items()))
+
+
+class Runner:
+    """Caches traces and per-(core, app) results."""
+
+    def __init__(self, n_instrs: int = 24_000, warmup: int = 6_000,
+                 mem_cfg: Optional[MemoryConfig] = None) -> None:
+        self.n_instrs = n_instrs
+        self.warmup = warmup
+        self.mem_cfg = mem_cfg
+        self._traces: Dict[str, list] = {}
+        self._results: Dict[tuple, RunResult] = {}
+
+    def trace(self, profile: WorkloadProfile) -> list:
+        """The (cached) dynamic trace for a workload profile."""
+        key = f"{profile.name}:{self.n_instrs}"
+        if key not in self._traces:
+            self._traces[key] = SyntheticWorkload(profile).generate(self.n_instrs)
+        return self._traces[key]
+
+    def run(self, cfg: CoreConfig, profile: WorkloadProfile) -> RunResult:
+        """Simulate ``profile`` on ``cfg`` (cached)."""
+        key = (_cfg_key(cfg), profile.name, self.n_instrs, self.warmup)
+        if key in self._results:
+            return self._results[key]
+        core = build_core(cfg, self.mem_cfg)
+        stats = core.run(self.trace(profile), warmup=self.warmup)
+        report = build_power_model(cfg).energy(stats)
+        result = RunResult(core=cfg, app=profile.name, stats=stats,
+                           energy=report)
+        self._results[key] = result
+        return result
+
+    def run_suite(self, cfg: CoreConfig,
+                  profiles: Sequence[WorkloadProfile]) -> Dict[str, RunResult]:
+        """Simulate every profile on ``cfg``."""
+        return {p.name: self.run(cfg, p) for p in profiles}
+
+    def run_seeds(self, cfg: CoreConfig, profile: WorkloadProfile,
+                  n_seeds: int = 3) -> Dict[int, RunResult]:
+        """Simulate ``n_seeds`` seed-variants of one profile (statistical
+        robustness checks): seed k uses ``profile.seed + 1000 * k``."""
+        out: Dict[int, RunResult] = {}
+        for k in range(n_seeds):
+            variant = dataclasses.replace(
+                profile, name=f"{profile.name}#s{k}",
+                seed=profile.seed + 1000 * k)
+            out[k] = self.run(cfg, variant)
+        return out
+
+    # -- comparisons -----------------------------------------------------------
+
+    def speedups(self, cfgs: Sequence[CoreConfig],
+                 profiles: Sequence[WorkloadProfile],
+                 baseline: CoreConfig) -> Dict[str, Dict[str, float]]:
+        """Per-app IPC of each config normalised to ``baseline``.
+
+        Returns ``{config name: {app: speedup}}``.
+        """
+        base = {p.name: self.run(baseline, p).ipc for p in profiles}
+        out: Dict[str, Dict[str, float]] = {}
+        for cfg in cfgs:
+            out[cfg.name] = {
+                p.name: self.run(cfg, p).ipc / base[p.name] for p in profiles
+            }
+        return out
+
+    @staticmethod
+    def geomean_speedup(per_app: Dict[str, float]) -> float:
+        return geomean(per_app.values())

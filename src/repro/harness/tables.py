@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Union[str, Number]]],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    text_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_series(name: str, series: Mapping[str, Number],
+                  float_fmt: str = "{:.3f}") -> str:
+    """One-line ``name: key=value`` rendering for sweep output."""
+    parts = ", ".join(
+        f"{k}={float_fmt.format(v) if isinstance(v, float) else v}"
+        for k, v in series.items())
+    return f"{name}: {parts}"
+
+
+def format_bars(values: Mapping[str, Number], width: int = 40,
+                float_fmt: str = "{:.2f}") -> str:
+    """Horizontal ASCII bar chart — the terminal rendering of the paper's
+    bar figures.  Bars scale to the largest value."""
+    if not values:
+        return "(no data)"
+    peak = max(float(v) for v in values.values())
+    label_w = max(len(str(k)) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(1, round(width * float(value) / peak)) if peak else ""
+        lines.append(f"{str(key).ljust(label_w)}  "
+                     f"{float_fmt.format(float(value)).rjust(6)} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""ASCII pipeline timelines from a recorded schedule.
+
+Feed it the ``core.schedule`` produced by
+``core.run(trace, record_schedule=True)`` and it renders one row per
+instruction with issue (``i``), execution (``=``), completion (``D``) and
+commit (``C``) marked per cycle — the visual language of the paper's
+Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import DynInst
+
+#: One recorded instruction: (seq, inst, issue_at, done_at, commit_at,
+#: from_siq).
+ScheduleEntry = Tuple[int, DynInst, Optional[int], Optional[int], int, bool]
+
+
+def _label(inst: DynInst, from_siq: bool, tag_spec: bool) -> str:
+    name = inst.op.name.lower()
+    srcs = ",".join(f"r{s}" for s in inst.srcs)
+    dst = f"r{inst.dst}" if inst.dst is not None else "-"
+    spec = "*" if (tag_spec and from_siq) else " "
+    return f"i{inst.seq:<3}{spec}{name:<8} {dst:<4}<- {srcs:<8}"
+
+
+def render_timeline(schedule: Sequence[ScheduleEntry],
+                    first: int = 0, count: int = 24,
+                    width: int = 64, tag_spec: bool = False) -> str:
+    """Render ``count`` instructions of a schedule starting at index
+    ``first``.  ``tag_spec`` marks speculatively-issued instructions
+    (CASINO's S-IQ) with ``*``."""
+    window = list(schedule[first:first + count])
+    if not window:
+        return "(empty schedule)"
+    start = min(e[2] for e in window if e[2] is not None)
+    end = max(e[4] for e in window)
+    span = max(1, end - start + 1)
+    scale = max(1, (span + width - 1) // width)
+
+    def col(cycle: int) -> int:
+        return (cycle - start) // scale
+
+    n_cols = col(end) + 1
+    lines: List[str] = [
+        f"cycles {start}..{end}"
+        + (f" ({scale} cycles/char)" if scale > 1 else "")
+    ]
+    for seq, inst, issue_at, done_at, commit_at, from_siq in window:
+        cells = [" "] * n_cols
+        if issue_at is not None and done_at is not None:
+            for cycle in range(issue_at, done_at + 1):
+                cells[col(cycle)] = "="
+            cells[col(issue_at)] = "i"
+            cells[col(done_at)] = "D"
+        cells[col(commit_at)] = "C"
+        lines.append(_label(inst, from_siq, tag_spec) + "|"
+                     + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def issue_order(schedule: Sequence[ScheduleEntry]) -> List[int]:
+    """Sequence numbers sorted by issue time — the *dynamic* schedule the
+    core actually produced (ties in program order)."""
+    issued = [(e[2], e[0]) for e in schedule if e[2] is not None]
+    return [seq for _, seq in sorted(issued)]

@@ -1,0 +1,32 @@
+"""A small RISC-like micro-op ISA used by every core model.
+
+The timing simulators never interpret values; they consume
+:class:`~repro.isa.instruction.DynInst` records that carry everything the
+schedulers react to: register dependences, memory addresses, branch outcomes
+and latency classes.  Records come either from the functional emulator
+(:mod:`repro.isa.emulator`) running assembled kernels, or directly from the
+synthetic workload generator (:mod:`repro.workloads.generator`).
+"""
+
+from repro.isa.opcodes import OpClass, FuType, LATENCY, FU_FOR_OP
+from repro.isa.instruction import DynInst
+from repro.isa.registers import (
+    INT_REGS,
+    FP_REGS,
+    is_fp_reg,
+    reg_name,
+    parse_reg,
+)
+
+__all__ = [
+    "OpClass",
+    "FuType",
+    "LATENCY",
+    "FU_FOR_OP",
+    "DynInst",
+    "INT_REGS",
+    "FP_REGS",
+    "is_fp_reg",
+    "reg_name",
+    "parse_reg",
+]

@@ -1,0 +1,167 @@
+"""A tiny two-pass assembler for the micro-op ISA.
+
+Grammar (one instruction per line, ``;`` or ``#`` starts a comment)::
+
+    label:
+        li    r1, 100          ; load immediate
+        mv    r2, r1
+        add   r3, r1, r2       ; also sub/and/or/xor/sll/srl/slt
+        addi  r3, r1, 4        ; immediate forms of the above + subi
+        mul   r4, r3, r1
+        div   r5, r4, r1
+        fadd  f1, f2, f3       ; also fsub/fmul/fdiv
+        fli   f1, 2            ; fp load-immediate
+        itof  f2, r1           ; int -> fp move/convert
+        ftoi  r1, f2
+        ld    r1, 8(r2)        ; fld/fst for fp data
+        st    r1, 8(r2)
+        beq   r1, r2, label    ; also bne/blt/bge
+        jmp   label
+        nop
+        halt
+
+Register operands use ``r0..r15`` and ``f0..f7``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.isa.program import INST_BYTES, Program, StaticInst
+from repro.isa.registers import parse_reg
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+
+_MEM_RE = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+#: mnemonic -> (OpClass, operand shape)
+#: shapes: rrr (dst,src,src), rri (dst,src,imm), rr (dst,src), ri (dst,imm),
+#: mem (reg, off(base)), brr (src,src,label), j (label), none
+_FORMATS = {
+    "add": (OpClass.INT_ALU, "rrr"), "sub": (OpClass.INT_ALU, "rrr"),
+    "and": (OpClass.INT_ALU, "rrr"), "or": (OpClass.INT_ALU, "rrr"),
+    "xor": (OpClass.INT_ALU, "rrr"), "sll": (OpClass.INT_ALU, "rrr"),
+    "srl": (OpClass.INT_ALU, "rrr"), "slt": (OpClass.INT_ALU, "rrr"),
+    "addi": (OpClass.INT_ALU, "rri"), "subi": (OpClass.INT_ALU, "rri"),
+    "andi": (OpClass.INT_ALU, "rri"), "slli": (OpClass.INT_ALU, "rri"),
+    "srli": (OpClass.INT_ALU, "rri"), "slti": (OpClass.INT_ALU, "rri"),
+    "mul": (OpClass.INT_MUL, "rrr"), "div": (OpClass.INT_DIV, "rrr"),
+    "mv": (OpClass.INT_ALU, "rr"), "li": (OpClass.INT_ALU, "ri"),
+    "fadd": (OpClass.FP_ADD, "rrr"), "fsub": (OpClass.FP_ADD, "rrr"),
+    "fmul": (OpClass.FP_MUL, "rrr"), "fdiv": (OpClass.FP_DIV, "rrr"),
+    "fli": (OpClass.FP_ADD, "ri"), "fmv": (OpClass.FP_ADD, "rr"),
+    "itof": (OpClass.FP_ADD, "rr"), "ftoi": (OpClass.INT_ALU, "rr"),
+    "ld": (OpClass.LOAD, "mem"), "st": (OpClass.STORE, "mem"),
+    "fld": (OpClass.LOAD_FP, "mem"), "fst": (OpClass.STORE_FP, "mem"),
+    "beq": (OpClass.BRANCH, "brr"), "bne": (OpClass.BRANCH, "brr"),
+    "blt": (OpClass.BRANCH, "brr"), "bge": (OpClass.BRANCH, "brr"),
+    "jmp": (OpClass.JUMP, "j"),
+    "nop": (OpClass.NOP, "none"), "halt": (OpClass.HALT, "none"),
+}
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def assemble(source: str, base_pc: int = 0x1000) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with a line number on malformed input or
+    undefined labels.
+    """
+    lines = source.splitlines()
+    # Pass 1: strip comments, collect labels and raw instructions.
+    raw: List[Tuple[int, str, str]] = []  # (line_no, mnemonic, operand text)
+    labels = {}
+    for line_no, line in enumerate(lines, start=1):
+        text = re.split(r"[;#]", line, maxsplit=1)[0].strip()
+        if not text:
+            continue
+        while ":" in text:
+            label, text = text.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = base_pc + len(raw) * INST_BYTES
+            text = text.strip()
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        raw.append((line_no, mnemonic, parts[1] if len(parts) > 1 else ""))
+
+    # Pass 2: encode.
+    insts: List[StaticInst] = []
+    for index, (line_no, mnemonic, rest) in enumerate(raw):
+        if mnemonic not in _FORMATS:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        op, shape = _FORMATS[mnemonic]
+        pc = base_pc + index * INST_BYTES
+        ops = _split_operands(rest)
+        try:
+            inst = _encode(mnemonic, op, shape, ops, labels, pc)
+        except (ValueError, KeyError) as exc:
+            raise AssemblerError(f"line {line_no}: {exc}") from exc
+        insts.append(inst)
+    return Program(insts=insts, labels=labels, base_pc=base_pc)
+
+
+def _encode(mnemonic: str, op: OpClass, shape: str, ops: List[str],
+            labels: dict, pc: int) -> StaticInst:
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise ValueError(f"{mnemonic} expects {n} operands, got {len(ops)}")
+
+    def label_pc(token: str) -> int:
+        if token in labels:
+            return labels[token]
+        raise ValueError(f"undefined label {token!r}")
+
+    if shape == "rrr":
+        need(3)
+        return StaticInst(mnemonic, op, dst=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]), parse_reg(ops[2])), pc=pc)
+    if shape == "rri":
+        need(3)
+        return StaticInst(mnemonic, op, dst=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]),), imm=int(ops[2], 0), pc=pc)
+    if shape == "rr":
+        need(2)
+        return StaticInst(mnemonic, op, dst=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]),), pc=pc)
+    if shape == "ri":
+        need(2)
+        return StaticInst(mnemonic, op, dst=parse_reg(ops[0]),
+                          imm=int(ops[1], 0), pc=pc)
+    if shape == "mem":
+        need(2)
+        match = _MEM_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise ValueError(f"bad memory operand {ops[1]!r}")
+        offset, base = int(match.group(1)), parse_reg(match.group(2))
+        data_reg = parse_reg(ops[0])
+        if op.is_store:
+            return StaticInst(mnemonic, op, srcs=(base, data_reg),
+                              imm=offset, pc=pc)
+        return StaticInst(mnemonic, op, dst=data_reg, srcs=(base,),
+                          imm=offset, pc=pc)
+    if shape == "brr":
+        need(3)
+        return StaticInst(mnemonic, op,
+                          srcs=(parse_reg(ops[0]), parse_reg(ops[1])),
+                          imm=label_pc(ops[2]), pc=pc)
+    if shape == "j":
+        need(1)
+        return StaticInst(mnemonic, op, imm=label_pc(ops[0]), pc=pc)
+    if shape == "none":
+        need(0)
+        return StaticInst(mnemonic, op, pc=pc)
+    raise ValueError(f"unhandled shape {shape!r}")  # pragma: no cover

@@ -1,0 +1,190 @@
+"""Functional emulator: executes an assembled program and emits a trace.
+
+The emulator is architecturally simple — a flat register file and a sparse
+byte-addressable memory — but it resolves everything the timing models need:
+effective addresses, branch directions and targets.  It yields
+:class:`~repro.isa.instruction.DynInst` records in program order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.common.params import NUM_ARCH_REGS
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import INST_BYTES, Program, StaticInst
+
+_MASK64 = (1 << 64) - 1
+
+
+class EmulationError(RuntimeError):
+    """Raised when a program misbehaves (runs off the end, divides by 0...)."""
+
+
+class Emulator:
+    """Executes a :class:`Program` functionally.
+
+    Parameters
+    ----------
+    program:
+        The assembled program.
+    memory:
+        Optional initial memory image mapping byte address -> 64-bit value
+        (values are stored at 8-byte granularity internally).
+    max_insts:
+        Safety bound on the number of dynamic instructions.
+    """
+
+    def __init__(self, program: Program,
+                 memory: Optional[Dict[int, int]] = None,
+                 max_insts: int = 2_000_000) -> None:
+        self.program = program
+        self.regs = [0] * NUM_ARCH_REGS
+        self.fregs_view = None  # fp regs live in the same flat file as ints
+        self.memory: Dict[int, int] = dict(memory or {})
+        self.max_insts = max_insts
+        self.pc = program.entry_pc
+        self.halted = False
+        self.dyn_count = 0
+
+    # -- memory helpers ----------------------------------------------------
+
+    def load64(self, addr: int) -> int:
+        """Read 8 bytes; untouched memory reads as a deterministic hash of
+        its address so pointer-chasing kernels see stable, non-zero data."""
+        if addr in self.memory:
+            return self.memory[addr]
+        return (addr * 0x9E3779B97F4A7C15) & _MASK64
+
+    def store64(self, addr: int, value: int) -> None:
+        self.memory[addr] = value & _MASK64
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Iterator[DynInst]:
+        """Yield the dynamic instruction stream until HALT."""
+        while not self.halted:
+            if self.dyn_count >= self.max_insts:
+                raise EmulationError(
+                    f"exceeded {self.max_insts} instructions without HALT")
+            inst = self.program.at_pc(self.pc)
+            yield self._step(inst)
+
+    def _step(self, inst: StaticInst) -> DynInst:
+        regs = self.regs
+        op = inst.op
+        next_pc = self.pc + INST_BYTES
+        dyn = DynInst(pc=self.pc, op=op, srcs=inst.srcs, dst=inst.dst)
+        if op is OpClass.INT_ALU or op is OpClass.INT_MUL or op is OpClass.INT_DIV:
+            regs[inst.dst] = self._alu(inst) & _MASK64
+        elif op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+            regs[inst.dst] = self._fpu(inst) & _MASK64
+        elif op.is_load:
+            addr = (regs[inst.srcs[0]] + inst.imm) & _MASK64
+            regs[inst.dst] = self.load64(addr)
+            dyn.mem_addr, dyn.mem_size = addr, 8
+        elif op.is_store:
+            addr = (regs[inst.srcs[0]] + inst.imm) & _MASK64
+            self.store64(addr, regs[inst.srcs[1]])
+            dyn.mem_addr, dyn.mem_size = addr, 8
+        elif op is OpClass.BRANCH:
+            taken = self._branch_taken(inst)
+            dyn.taken = taken
+            dyn.target = inst.imm
+            if taken:
+                next_pc = inst.imm
+        elif op is OpClass.JUMP:
+            dyn.taken = True
+            dyn.target = inst.imm
+            next_pc = inst.imm
+        elif op is OpClass.HALT:
+            self.halted = True
+        elif op is OpClass.NOP:
+            pass
+        else:  # pragma: no cover - all classes handled above
+            raise EmulationError(f"unhandled op {op}")
+        self.pc = next_pc
+        self.dyn_count += 1
+        return dyn
+
+    def _alu(self, inst: StaticInst) -> int:
+        m, regs = inst.mnemonic, self.regs
+        if m == "li":
+            return inst.imm
+        a = regs[inst.srcs[0]]
+        if m == "mv":
+            return a
+        if m == "ftoi":
+            return a  # bit move between files
+        b = regs[inst.srcs[1]] if len(inst.srcs) > 1 else inst.imm
+        if m in ("add", "addi"):
+            return a + b
+        if m in ("sub", "subi"):
+            return a - b
+        if m in ("and", "andi"):
+            return a & b
+        if m == "or":
+            return a | b
+        if m == "xor":
+            return a ^ b
+        if m in ("sll", "slli"):
+            return a << (b & 63)
+        if m in ("srl", "srli"):
+            return a >> (b & 63)
+        if m in ("slt", "slti"):
+            return 1 if _signed(a) < _signed(b) else 0
+        if m == "mul":
+            return a * b
+        if m == "div":
+            if b == 0:
+                raise EmulationError(f"division by zero at pc {inst.pc:#x}")
+            return a // b
+        raise EmulationError(f"unhandled ALU mnemonic {m!r}")
+
+    def _fpu(self, inst: StaticInst) -> int:
+        # FP values are modelled as integers too: the timing models never
+        # look at values, and integer semantics keep traces exactly
+        # reproducible across platforms.
+        m, regs = inst.mnemonic, self.regs
+        if m == "fli":
+            return inst.imm
+        a = regs[inst.srcs[0]]
+        if m in ("fmv", "itof"):
+            return a
+        b = regs[inst.srcs[1]] if len(inst.srcs) > 1 else inst.imm
+        if m == "fadd":
+            return a + b
+        if m == "fsub":
+            return a - b
+        if m == "fmul":
+            return a * b
+        if m == "fdiv":
+            return a // b if b else 0
+        raise EmulationError(f"unhandled FP mnemonic {m!r}")
+
+    def _branch_taken(self, inst: StaticInst) -> bool:
+        a = _signed(self.regs[inst.srcs[0]])
+        b = _signed(self.regs[inst.srcs[1]])
+        m = inst.mnemonic
+        if m == "beq":
+            return a == b
+        if m == "bne":
+            return a != b
+        if m == "blt":
+            return a < b
+        if m == "bge":
+            return a >= b
+        raise EmulationError(f"unhandled branch mnemonic {m!r}")
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def trace_program(program: Program,
+                  memory: Optional[Dict[int, int]] = None,
+                  max_insts: int = 2_000_000) -> list:
+    """Run ``program`` to completion and return the full trace as a list."""
+    return list(Emulator(program, memory=memory, max_insts=max_insts).run())

@@ -1,0 +1,92 @@
+"""Dynamic instruction records consumed by the timing models.
+
+A :class:`DynInst` is one *executed* micro-op with its dataflow and control
+outcomes fully resolved: which architectural registers it reads/writes, the
+effective address it touches (for memory ops), whether a branch was taken and
+where it went.  Timing cores schedule these records; they never re-execute
+semantics, which keeps every core model focused on what the paper is about —
+*when* instructions issue, not *what* they compute.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import LATENCY, OpClass
+
+
+class DynInst:
+    """One dynamic micro-op in a trace.
+
+    Attributes
+    ----------
+    seq:
+        Global dynamic sequence number (program order), assigned by the
+        stream.  Re-fetched instances after a squash keep their number.
+    pc:
+        Static instruction address (used by predictors and slice tables).
+    op:
+        The :class:`~repro.isa.opcodes.OpClass`.
+    srcs:
+        Flat ids of architectural source registers.
+    dst:
+        Flat id of the architectural destination register, or ``None``.
+    mem_addr / mem_size:
+        Effective address and access width for loads/stores.
+    taken / target:
+        Control outcome for branches; ``target`` is the next fetch PC when
+        taken.
+    """
+
+    __slots__ = ("seq", "pc", "op", "srcs", "dst", "mem_addr", "mem_size",
+                 "taken", "target", "latency")
+
+    def __init__(self,
+                 pc: int,
+                 op: OpClass,
+                 srcs: Tuple[int, ...] = (),
+                 dst: Optional[int] = None,
+                 mem_addr: Optional[int] = None,
+                 mem_size: int = 8,
+                 taken: bool = False,
+                 target: Optional[int] = None,
+                 seq: int = -1) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.srcs = srcs
+        self.dst = dst
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.taken = taken
+        self.target = target
+        self.latency = LATENCY[op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD or self.op is OpClass.LOAD_FP
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE or self.op is OpClass.STORE_FP
+
+    @property
+    def is_mem(self) -> bool:
+        return OpClass.LOAD <= self.op <= OpClass.STORE_FP
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH or self.op is OpClass.JUMP
+
+    def overlaps(self, other: "DynInst") -> bool:
+        """True when the two memory accesses touch overlapping bytes."""
+        if self.mem_addr is None or other.mem_addr is None:
+            return False
+        return (self.mem_addr < other.mem_addr + other.mem_size
+                and other.mem_addr < self.mem_addr + self.mem_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mem = f" @0x{self.mem_addr:x}" if self.mem_addr is not None else ""
+        br = f" taken->{self.target}" if self.is_branch and self.taken else ""
+        return (f"DynInst(#{self.seq} pc=0x{self.pc:x} {self.op.name}"
+                f" srcs={self.srcs} dst={self.dst}{mem}{br})")

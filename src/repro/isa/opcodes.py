@@ -1,0 +1,96 @@
+"""Micro-op classes, latency classes and functional-unit mapping.
+
+Latencies follow the usual textbook/Multi2Sim defaults: single-cycle integer
+ALU, 3-cycle multiply, long division, 3-4 cycle pipelined FP, and AGU-issued
+memory operations whose final latency the cache hierarchy decides.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Classes of micro-ops distinguished by the schedulers."""
+
+    INT_ALU = 0     # add/sub/logic/shift/compare/move
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    LOAD_FP = 7
+    STORE = 8
+    STORE_FP = 9
+    BRANCH = 10     # conditional direct branch
+    JUMP = 11       # unconditional direct jump
+    NOP = 12
+    HALT = 13
+
+    @property
+    def is_load(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.LOAD_FP)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (OpClass.STORE, OpClass.STORE_FP)
+
+    @property
+    def is_mem(self) -> bool:
+        return OpClass.LOAD <= self <= OpClass.STORE_FP
+
+    @property
+    def is_branch(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
+                        OpClass.LOAD_FP, OpClass.STORE_FP)
+
+
+class FuType(enum.IntEnum):
+    """Functional-unit pools (Table I: 2 integer ALUs, 2 FP units, 2 AGUs)."""
+
+    ALU = 0
+    FPU = 1
+    AGU = 2
+
+
+#: Execution latency in cycles for non-memory ops.  Memory ops take 1 AGU
+#: cycle; the cache hierarchy adds the access latency on top.
+LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.LOAD_FP: 1,
+    OpClass.STORE: 1,
+    OpClass.STORE_FP: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+    OpClass.HALT: 1,
+}
+
+#: Which functional-unit pool executes each op class.
+FU_FOR_OP = {
+    OpClass.INT_ALU: FuType.ALU,
+    OpClass.INT_MUL: FuType.ALU,
+    OpClass.INT_DIV: FuType.ALU,
+    OpClass.FP_ADD: FuType.FPU,
+    OpClass.FP_MUL: FuType.FPU,
+    OpClass.FP_DIV: FuType.FPU,
+    OpClass.LOAD: FuType.AGU,
+    OpClass.LOAD_FP: FuType.AGU,
+    OpClass.STORE: FuType.AGU,
+    OpClass.STORE_FP: FuType.AGU,
+    OpClass.BRANCH: FuType.ALU,
+    OpClass.JUMP: FuType.ALU,
+    OpClass.NOP: FuType.ALU,
+    OpClass.HALT: FuType.ALU,
+}

@@ -1,0 +1,54 @@
+"""Static program representation produced by the assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.opcodes import OpClass
+
+#: Byte size of one encoded instruction (PCs advance by this much).
+INST_BYTES = 4
+
+
+@dataclass
+class StaticInst:
+    """One assembled instruction before execution.
+
+    ``srcs``/``dst`` are flat architectural register ids; ``imm`` is the
+    immediate operand (offset for memory ops, constant for ``*i`` ALU forms,
+    branch target PC for control flow).
+    """
+
+    mnemonic: str
+    op: OpClass
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    pc: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.pc:#06x} {self.mnemonic} dst={self.dst} srcs={self.srcs} imm={self.imm}>"
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus label and entry metadata."""
+
+    insts: List[StaticInst] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    base_pc: int = 0x1000
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def at_pc(self, pc: int) -> StaticInst:
+        """The static instruction at byte address ``pc``."""
+        index = (pc - self.base_pc) // INST_BYTES
+        if index < 0 or index >= len(self.insts):
+            raise IndexError(f"pc {pc:#x} outside program")
+        return self.insts[index]
+
+    @property
+    def entry_pc(self) -> int:
+        return self.base_pc

@@ -1,0 +1,45 @@
+"""Architectural register namespace.
+
+Integer registers ``r0..r15`` occupy ids ``0..15`` and floating-point
+registers ``f0..f7`` occupy ids ``16..23``.  A single flat id space keeps
+rename tables and scoreboards simple while still letting the renamer maintain
+separate INT/FP free lists (Table I sizes them separately).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import NUM_FP_ARCH, NUM_INT_ARCH
+
+#: Ids of the integer architectural registers.
+INT_REGS = tuple(range(NUM_INT_ARCH))
+#: Ids of the floating-point architectural registers.
+FP_REGS = tuple(range(NUM_INT_ARCH, NUM_INT_ARCH + NUM_FP_ARCH))
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when the flat register id names a floating-point register."""
+    return reg >= NUM_INT_ARCH
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r3``, ``f1``) for a flat register id."""
+    if reg < 0 or reg >= NUM_INT_ARCH + NUM_FP_ARCH:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < NUM_INT_ARCH:
+        return f"r{reg}"
+    return f"f{reg - NUM_INT_ARCH}"
+
+
+def parse_reg(token: str) -> int:
+    """Parse ``r<N>``/``f<N>`` into a flat register id."""
+    token = token.strip().lower()
+    if len(token) < 2 or token[0] not in "rf" or not token[1:].isdigit():
+        raise ValueError(f"not a register: {token!r}")
+    index = int(token[1:])
+    if token[0] == "r":
+        if index >= NUM_INT_ARCH:
+            raise ValueError(f"integer register out of range: {token!r}")
+        return index
+    if index >= NUM_FP_ARCH:
+        raise ValueError(f"fp register out of range: {token!r}")
+    return NUM_INT_ARCH + index

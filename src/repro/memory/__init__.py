@@ -1,0 +1,13 @@
+"""Memory subsystem: caches with MSHRs, a stride prefetcher and DDR4 DRAM.
+
+Composition follows Table I: 32 KiB 8-way L1I and L1D at 4 cycles, a unified
+1 MiB 16-way 11-cycle L2 with a stride-based prefetcher, and a single-channel
+DDR4 main memory.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = ["Cache", "Dram", "MemoryHierarchy", "StridePrefetcher"]

@@ -1,0 +1,157 @@
+"""Set-associative write-back cache with LRU replacement, dirty-line
+writebacks and MSHR merging.
+
+The timing contract is latency-based: ``access()`` returns the number of
+cycles until data is available.  Outstanding misses are tracked per line in
+a small MSHR file so that a second access to an in-flight line merges with
+it (paying only the residual latency), and a full MSHR file back-pressures
+new misses.  Stores mark lines dirty; evicting a dirty line emits a
+writeback to the next level (counted, and occupying next-level bandwidth,
+but not charged to the access that triggered the eviction — the usual
+victim-buffer assumption).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.common.params import CacheConfig
+from repro.common.stats import Stats
+
+#: Type of the next-level access function: (addr, cycle) -> latency.
+NextLevel = Callable[[int, int], int]
+
+
+class Cache:
+    """One cache level.
+
+    Parameters
+    ----------
+    name:
+        Stats prefix (``l1d``, ``l1i``, ``l2``).
+    cfg:
+        Geometry and latency.
+    next_level:
+        Called on a miss to fetch the line from below.
+    stats:
+        Shared counter bag.
+    writeback_sink:
+        Called with (addr, cycle) when a dirty line is evicted; defaults to
+        ``next_level`` (return value ignored).  Hierarchies can use it to
+        update lower-level state without training prefetchers.
+    """
+
+    def __init__(self, name: str, cfg: CacheConfig,
+                 next_level: NextLevel,
+                 stats: Optional[Stats] = None,
+                 writeback_sink: Optional[NextLevel] = None) -> None:
+        self.name = name
+        self.cfg = cfg
+        self.next_level = next_level
+        self.writeback_sink = writeback_sink
+        self.stats = stats if stats is not None else Stats()
+        self.n_sets = cfg.n_sets
+        self._line_shift = cfg.line_bytes.bit_length() - 1
+        # sets[s] maps tag -> last-use stamp (LRU by smallest stamp).
+        self.sets: Dict[int, Dict[int, int]] = {}
+        self.dirty: Set[int] = set()
+        # Outstanding fills: line address -> fill-completion cycle.
+        self.mshrs: Dict[int, int] = {}
+        self._use_stamp = 0
+        #: Optional hook invoked with (addr, cycle) on every *demand* access
+        #: (the prefetcher trains here; for the L2, every demand access is an
+        #: L1 miss, so training here keeps following a prefetched stream).
+        self.access_hook: Optional[Callable[[int, int], None]] = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _lookup(self, line: int) -> bool:
+        set_idx = line % self.n_sets
+        tags = self.sets.get(set_idx)
+        if tags is not None and line in tags:
+            self._use_stamp += 1
+            tags[line] = self._use_stamp
+            return True
+        return False
+
+    def _install(self, line: int, cycle: int) -> None:
+        set_idx = line % self.n_sets
+        tags = self.sets.setdefault(set_idx, {})
+        self._use_stamp += 1
+        if line in tags:
+            tags[line] = self._use_stamp
+            return
+        if len(tags) >= self.cfg.assoc:
+            victim = min(tags, key=tags.get)
+            del tags[victim]
+            self.stats.add(f"{self.name}_evictions")
+            if victim in self.dirty:
+                self.dirty.discard(victim)
+                self.stats.add(f"{self.name}_writebacks")
+                sink = self.writeback_sink or self.next_level
+                sink(victim << self._line_shift, cycle)
+        tags[line] = self._use_stamp
+
+    def _reap_mshrs(self, cycle: int) -> None:
+        if len(self.mshrs) > 2 * self.cfg.mshrs:
+            done = [l for l, t in self.mshrs.items() if t <= cycle]
+            for l in done:
+                del self.mshrs[l]
+
+    # -- public interface ------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident (no LRU update)."""
+        line = self._line(addr)
+        tags = self.sets.get(line % self.n_sets)
+        return tags is not None and line in tags
+
+    def access(self, addr: int, cycle: int, is_write: bool = False,
+               prefetch: bool = False) -> int:
+        """Access ``addr``; returns cycles until the data is available."""
+        line = self._line(addr)
+        prefix = self.name
+        if not prefetch:
+            self.stats.add(f"{prefix}_accesses")
+            if self.access_hook is not None:
+                self.access_hook(addr, cycle)
+        if is_write:
+            self.dirty.add(line)
+        # In-flight fill for the same line: merge (checked before the tag
+        # lookup because fills are installed eagerly at miss time).
+        fill_at = self.mshrs.get(line)
+        if fill_at is not None and fill_at > cycle:
+            if not prefetch:
+                self.stats.add(f"{prefix}_mshr_merges")
+            self._install(line, cycle)
+            return (fill_at - cycle) + self.cfg.latency
+        if self._lookup(line):
+            if not prefetch:
+                self.stats.add(f"{prefix}_hits")
+            return self.cfg.latency
+        if not prefetch:
+            self.stats.add(f"{prefix}_misses")
+        # MSHR back-pressure: wait for the earliest outstanding fill.
+        outstanding = [t for t in self.mshrs.values() if t > cycle]
+        delay = 0
+        if len(outstanding) >= self.cfg.mshrs:
+            delay = min(outstanding) - cycle
+            self.stats.add(f"{prefix}_mshr_stalls")
+        below = self.next_level(addr, cycle + delay + self.cfg.latency)
+        latency = self.cfg.latency + delay + below
+        self.mshrs[line] = cycle + latency
+        self._reap_mshrs(cycle)
+        self._install(line, cycle)
+        return latency
+
+    def install_prefetch(self, addr: int, fill_at: int) -> None:
+        """Install a prefetched line that completes at ``fill_at``."""
+        line = self._line(addr)
+        if self._lookup(line):
+            return
+        self.mshrs[line] = fill_at
+        self._install(line, fill_at)
+        self.stats.add(f"{self.name}_prefetch_fills")

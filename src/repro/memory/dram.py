@@ -1,0 +1,64 @@
+"""A compact DDR4-like DRAM timing model (Ramulator stand-in).
+
+Banks keep an open row; accesses pay CAS on a row hit, RCD+CAS on an empty
+row, and RP+RCD+CAS on a row conflict, serialised per bank, plus a burst
+transfer and a fixed controller overhead.  Cache lines interleave across
+banks so streaming workloads exploit bank parallelism while pointer chasing
+pays full random-access latency — exactly the contrast the paper's MLP
+arguments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import DramConfig
+from repro.common.stats import Stats
+
+
+class _Bank:
+    __slots__ = ("open_row", "busy_until")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.busy_until = 0
+
+
+class Dram:
+    """Single-channel, bank-parallel DRAM with open-row policy."""
+
+    def __init__(self, cfg: DramConfig, stats: Optional[Stats] = None) -> None:
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Stats()
+        self.banks: List[_Bank] = [_Bank() for _ in range(cfg.n_banks)]
+
+    def access(self, addr: int, cycle: int) -> int:
+        """Access the line containing ``addr`` at ``cycle``; return latency."""
+        cfg = self.cfg
+        line = addr >> 6
+        # XOR-folded bank hash so distinct memory regions interleave across
+        # banks instead of ping-ponging rows within one bank.
+        bank_idx = (line ^ (line >> 4) ^ (line >> 8)) % cfg.n_banks
+        row = line // cfg.n_banks // (cfg.row_bytes >> 6)
+        bank = self.banks[bank_idx]
+        start = max(cycle + cfg.frontend_overhead, bank.busy_until)
+        if bank.open_row == row:
+            service = cfg.t_cas
+            self.stats.add("dram_row_hits")
+        elif bank.open_row is None:
+            service = cfg.t_rcd + cfg.t_cas
+            self.stats.add("dram_row_empty")
+        else:
+            service = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self.stats.add("dram_row_conflicts")
+        bank.open_row = row
+        finish = start + service + cfg.t_burst
+        bank.busy_until = finish
+        self.stats.add("dram_accesses")
+        return finish - cycle
+
+    def reset(self) -> None:
+        """Forget all bank state (used between independent runs)."""
+        for bank in self.banks:
+            bank.open_row = None
+            bank.busy_until = 0

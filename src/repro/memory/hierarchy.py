@@ -1,0 +1,89 @@
+"""Composition of the Table I memory hierarchy for one simulated core."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import MemoryConfig
+from repro.common.stats import Stats
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class MemoryHierarchy:
+    """L1I + L1D over a unified prefetching L2 over DDR4 DRAM.
+
+    The interface is latency-based: each access method returns the number
+    of cycles until data is available, updating cache/DRAM state.
+    """
+
+    def __init__(self, cfg: Optional[MemoryConfig] = None,
+                 stats: Optional[Stats] = None) -> None:
+        self.cfg = cfg if cfg is not None else MemoryConfig()
+        self.stats = stats if stats is not None else Stats()
+        self.dram = Dram(self.cfg.dram, self.stats)
+        self.l2 = Cache("l2", self.cfg.l2, self.dram.access, self.stats)
+        # L1 dirty evictions update the L2 without training its prefetcher.
+        def _wb_to_l2(addr: int, cycle: int) -> int:
+            return self.l2.access(addr, cycle, is_write=True, prefetch=True)
+        self.l1d = Cache("l1d", self.cfg.l1d, self.l2.access, self.stats,
+                         writeback_sink=_wb_to_l2)
+        self.l1i = Cache("l1i", self.cfg.l1i, self.l2.access, self.stats)
+        self.prefetcher = None
+        if self.cfg.prefetch_enabled:
+            self.prefetcher = StridePrefetcher(
+                self.l2, self.dram, self.cfg.prefetcher_streams,
+                self.cfg.prefetcher_degree, self.stats)
+            self.l2.access_hook = self.prefetcher.train
+
+        # Load-load ordering (TSO) support, Section III-C4: cache lines read
+        # by speculatively-issued loads carry a sentinel; an invalidation
+        # from a remote store is not acknowledged until the sentinel clears.
+        self.line_sentinels: dict = {}
+
+    # -- TSO line sentinels -----------------------------------------------------
+
+    def add_line_sentinel(self, addr: int) -> None:
+        """A speculatively-issued load pins its cache line."""
+        line = addr >> 6
+        self.line_sentinels[line] = self.line_sentinels.get(line, 0) + 1
+
+    def remove_line_sentinel(self, addr: int) -> None:
+        """The speculative load committed (or was squashed): unpin."""
+        line = addr >> 6
+        count = self.line_sentinels.get(line, 0)
+        if count <= 1:
+            self.line_sentinels.pop(line, None)
+        else:
+            self.line_sentinels[line] = count - 1
+
+    def invalidate(self, addr: int, cycle: int) -> bool:
+        """A remote store wants this line.  Returns True when the
+        invalidation is acknowledged (line evicted); False when a sentinel
+        withholds the acknowledgement (the remote store must retry) —
+        enforcing load->load ordering without LQ searches."""
+        line = addr >> 6
+        if self.line_sentinels.get(line, 0) > 0:
+            self.stats.add("invalidation_nacks")
+            return False
+        for cache in (self.l1d, self.l1i, self.l2):
+            tags = cache.sets.get(line % cache.n_sets)
+            if tags is not None and line in tags:
+                del tags[line]
+        self.stats.add("invalidations")
+        return True
+
+    def ifetch(self, pc: int, cycle: int) -> int:
+        """Instruction fetch of the line containing ``pc``."""
+        return self.l1i.access(pc, cycle)
+
+    def load(self, addr: int, cycle: int) -> int:
+        """Data load; returns load-to-use latency in cycles."""
+        self.stats.add("mem_loads")
+        return self.l1d.access(addr, cycle)
+
+    def store(self, addr: int, cycle: int) -> int:
+        """Retiring store writing the L1D (write-allocate)."""
+        self.stats.add("mem_stores")
+        return self.l1d.access(addr, cycle, is_write=True)

@@ -1,0 +1,73 @@
+"""Stride-based L2 prefetcher (Table I: "stride-based prefetcher").
+
+Trains on L2 demand accesses (i.e. L1 misses).  Accesses are grouped into
+4 KiB regions; each region tracks the furthest line touched and a direction.
+Once a region shows two accesses in a consistent direction, the prefetcher
+runs ``degree`` lines ahead of the furthest point.  Tracking the *frontier*
+rather than the last address makes the detector robust to the out-of-order
+arrival of requests from cores that overlap their misses — exactly the
+traffic an OoO or CASINO core generates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.stats import Stats
+
+
+class _RegionState:
+    __slots__ = ("last_line", "frontier", "direction", "confidence")
+
+    def __init__(self, line: int) -> None:
+        self.last_line = line
+        self.frontier = line
+        self.direction = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Region-based streaming/stride detector issuing frontier prefetches."""
+
+    def __init__(self, cache, dram, n_streams: int = 16, degree: int = 2,
+                 stats: Optional[Stats] = None) -> None:
+        self.cache = cache        # the L2 to fill
+        self.dram = dram          # where prefetches are fetched from
+        self.n_streams = n_streams
+        self.degree = degree
+        self.stats = stats if stats is not None else Stats()
+        self.table: Dict[int, _RegionState] = {}
+
+    def train(self, addr: int, cycle: int) -> None:
+        """Observe an L2 demand access; possibly issue prefetches."""
+        line = addr >> 6
+        region = addr >> 12
+        state = self.table.get(region)
+        if state is None:
+            if len(self.table) >= self.n_streams:
+                self.table.pop(next(iter(self.table)))
+            self.table[region] = _RegionState(line)
+            return
+        delta = line - state.last_line
+        state.last_line = line
+        if delta == 0:
+            return
+        direction = 1 if delta > 0 else -1
+        if direction == state.direction:
+            state.confidence = min(state.confidence + 1, 4)
+        else:
+            state.direction = direction
+            state.confidence = 1
+        if direction > 0:
+            state.frontier = max(state.frontier, line)
+        else:
+            state.frontier = min(state.frontier, line)
+        if state.confidence >= 2:
+            for i in range(1, self.degree + 1):
+                target = (state.frontier + direction * i) << 6
+                if self.cache.contains(target) or (target >> 6) in self.cache.mshrs:
+                    continue
+                latency = self.dram.access(target, cycle)
+                self.cache.install_prefetch(target, cycle + latency)
+                self.stats.add("prefetches_issued")
+            state.frontier += direction * self.degree

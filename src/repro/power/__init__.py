@@ -1,0 +1,22 @@
+"""McPAT/CACTI-like analytical power and area model (22 nm class).
+
+The paper estimates energy with modified McPAT + CACTI 6.5, "considering
+only core components excluding L2 cache, main memory, and interconnection
+networks".  This package reproduces that accounting structure: each core
+kind gets an inventory of SRAM/CAM structures sized from its
+:class:`~repro.common.params.CoreConfig`; per-access energies follow
+CACTI-style scaling laws; dynamic energy is event counts x per-access
+energy, and leakage is proportional to area x runtime.
+"""
+
+from repro.power.accounting import CorePowerModel, EnergyReport, build_power_model
+from repro.power.structures import cam_search_pj, ram_access_pj, sram_area_mm2
+
+__all__ = [
+    "CorePowerModel",
+    "EnergyReport",
+    "build_power_model",
+    "cam_search_pj",
+    "ram_access_pj",
+    "sram_area_mm2",
+]

@@ -1,0 +1,305 @@
+"""Core-level energy and area accounting (Figure 9 machinery).
+
+For each core kind we build an inventory of structures sized from the
+:class:`~repro.common.params.CoreConfig`.  Every structure contributes
+area (for the Figure 9a stack and for leakage) and a set of
+``(event counter, energy-per-event)`` bindings (for dynamic energy).
+Counters are exactly the ones the timing cores emit, so the accounting is
+driven by what actually happened cycle by cycle — the McPAT methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.params import (
+    NUM_ARCH_REGS,
+    CoreConfig,
+)
+from repro.common.stats import Stats
+from repro.power.structures import (
+    CORE_CLOCK_HZ,
+    FU_AREA_MM2,
+    FU_ENERGY_PJ,
+    L1_ACCESS_PJ,
+    L1_AREA_MM2,
+    LEAKAGE_W_PER_MM2,
+    WAKEUP_PJ_PER_ENTRY,
+    cam_search_pj,
+    ram_access_pj,
+    sram_area_mm2,
+)
+
+_PJ = 1e-12
+
+
+@dataclass
+class EnergyReport:
+    """Energy split of one simulated run."""
+
+    dynamic_j: float
+    leakage_j: float
+    by_group: Dict[str, float]
+    cycles: float
+    committed: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.leakage_j
+
+    @property
+    def epi_nj(self) -> float:
+        """Energy per committed instruction in nanojoules."""
+        return (self.total_j / self.committed) * 1e9 if self.committed else 0.0
+
+    def efficiency(self) -> float:
+        """Performance per energy (IPS per watt ~ committed^2/(cycles*J))."""
+        if self.cycles == 0 or self.total_j == 0:
+            return 0.0
+        seconds = self.cycles / CORE_CLOCK_HZ
+        ips = self.committed / seconds
+        watts = self.total_j / seconds
+        return ips / watts
+
+
+@dataclass
+class CorePowerModel:
+    """Inventory of structures for one core configuration."""
+
+    cfg: CoreConfig
+    #: (group, counter name, picojoules per counted event)
+    dynamic_items: List[Tuple[str, str, float]] = field(default_factory=list)
+    #: (group, structure name, mm^2)
+    area_items: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    def add_dyn(self, group: str, counter: str, pj: float) -> None:
+        self.dynamic_items.append((group, counter, pj))
+
+    def add_area(self, group: str, name: str, mm2: float) -> None:
+        self.area_items.append((group, name, mm2))
+
+    # -- outputs -------------------------------------------------------------
+
+    def area_mm2(self) -> float:
+        return sum(a for _, _, a in self.area_items)
+
+    def area_by_group(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for group, _, mm2 in self.area_items:
+            out[group] = out.get(group, 0.0) + mm2
+        return out
+
+    def energy(self, stats: Stats) -> EnergyReport:
+        by_group: Dict[str, float] = {}
+        dynamic = 0.0
+        for group, counter, pj in self.dynamic_items:
+            joules = stats.get(counter) * pj * _PJ
+            dynamic += joules
+            by_group[group] = by_group.get(group, 0.0) + joules
+        seconds = stats.cycles / CORE_CLOCK_HZ
+        leakage = self.area_mm2() * LEAKAGE_W_PER_MM2 * seconds
+        by_group["leakage"] = leakage
+        return EnergyReport(dynamic_j=dynamic, leakage_j=leakage,
+                            by_group=by_group, cycles=stats.cycles,
+                            committed=stats.committed)
+
+
+def build_power_model(cfg: CoreConfig) -> CorePowerModel:
+    """Construct the structure inventory for ``cfg.kind``."""
+    model = CorePowerModel(cfg)
+    _common_inventory(model)
+    builder = {
+        "ino": _ino_inventory,
+        "ooo": _ooo_inventory,
+        "casino": _casino_inventory,
+        "lsc": _slice_inventory,
+        "freeway": _slice_inventory,
+        "specino": _ino_inventory,
+    }[cfg.kind]
+    builder(model)
+    return model
+
+
+# -- shared front end, caches, functional units --------------------------------
+
+
+def _common_inventory(model: CorePowerModel) -> None:
+    cfg = model.cfg
+    # Branch prediction: 32 KiB TAGE + BTB.
+    model.add_area("frontend", "tage", 0.30)
+    model.add_area("frontend", "btb", 0.12)
+    model.add_dyn("frontend", "bp_lookups", 9.0)
+    model.add_dyn("frontend", "btb_lookups", 4.0)
+    # Fetch/decode pipeline energy per fetched instruction.
+    model.add_dyn("frontend", "fetched", 3.0)
+    model.add_dyn("frontend", "l1i_accesses", L1_ACCESS_PJ)
+    model.add_area("frontend", "l1i", L1_AREA_MM2)
+    # L1D (core-side; L2 and DRAM are excluded, as in the paper).
+    model.add_dyn("lsu", "l1d_accesses", L1_ACCESS_PJ)
+    model.add_dyn("lsu", "l1d_writebacks", L1_ACCESS_PJ)
+    model.add_area("lsu", "l1d", L1_AREA_MM2)
+    # Functional units: energy by issue mix, area by pool size.
+    model.add_dyn("fu", "issued", FU_ENERGY_PJ["alu"])
+    model.add_dyn("fu", "mem_loads", FU_ENERGY_PJ["agu"])
+    model.add_dyn("fu", "mem_stores", FU_ENERGY_PJ["agu"])
+    model.add_area("fu", "alus", cfg.n_alu * FU_AREA_MM2["alu"])
+    model.add_area("fu", "fpus", cfg.n_fpu * FU_AREA_MM2["fpu"])
+    model.add_area("fu", "agus", cfg.n_agu * FU_AREA_MM2["agu"])
+    # Result/bypass network scales with width.
+    model.add_dyn("fu", "issued", 2.0 * cfg.width)
+    model.add_area("fu", "bypass", 0.02 * cfg.width)
+
+
+def _arf_area(ports: int) -> float:
+    return sram_area_mm2(NUM_ARCH_REGS, 64, ports)
+
+
+# -- in-order baseline ------------------------------------------------------------
+
+
+def _ino_inventory(model: CorePowerModel) -> None:
+    cfg = model.cfg
+    ports = 2 * cfg.width
+    # Architectural register file.
+    model.add_area("rf", "arf", _arf_area(ports))
+    model.add_dyn("rf", "issued", 2 * ram_access_pj(NUM_ARCH_REGS, 64, ports))
+    # 16-entry in-order IQ (payload RAM, FIFO).
+    model.add_area("scheduler", "iq", sram_area_mm2(cfg.iq_size, 96))
+    model.add_dyn("scheduler", "dispatched", ram_access_pj(cfg.iq_size, 96))
+    model.add_dyn("scheduler", "issued", ram_access_pj(cfg.iq_size, 96))
+    # Scoreboard.
+    model.add_area("scheduler", "scb", sram_area_mm2(cfg.scb_size, 80))
+    model.add_dyn("scheduler", "scb_access", ram_access_pj(cfg.scb_size, 80))
+    # Store buffer (small CAM).
+    model.add_area("lsu", "sb", sram_area_mm2(cfg.sq_sb_size, 108, cam=True))
+    model.add_dyn("lsu", "sb_search", cam_search_pj(cfg.sq_sb_size, 44))
+    model.add_dyn("lsu", "sb_writes", ram_access_pj(cfg.sq_sb_size, 108))
+    model.add_dyn("lsu", "sb_retires", ram_access_pj(cfg.sq_sb_size, 108))
+
+
+# -- conventional out-of-order ------------------------------------------------------
+
+
+def _ooo_inventory(model: CorePowerModel) -> None:
+    cfg = model.cfg
+    prf_entries = cfg.prf_int + cfg.prf_fp
+    prf_ports = 3 * cfg.width
+    # Rename: RAT + free list.
+    model.add_area("rename", "rat", sram_area_mm2(NUM_ARCH_REGS, 8, 3 * cfg.width))
+    model.add_area("rename", "rat_checkpoints", 0.08 * cfg.width / 2)
+    model.add_dyn("rename", "rat_reads", ram_access_pj(NUM_ARCH_REGS, 8, 3 * cfg.width))
+    model.add_dyn("rename", "rat_writes", ram_access_pj(NUM_ARCH_REGS, 8, 3 * cfg.width))
+    model.add_dyn("rename", "freelist_ops", 1.2)
+    model.add_area("rename", "freelist", sram_area_mm2(prf_entries, 8))
+    # PRF.
+    model.add_area("rf", "prf", sram_area_mm2(prf_entries, 64, prf_ports))
+    model.add_dyn("rf", "prf_reads", ram_access_pj(prf_entries, 64, prf_ports))
+    model.add_dyn("rf", "prf_writes", ram_access_pj(prf_entries, 64, prf_ports))
+    # Issue queue: wakeup CAM + select (prefix-sum + age matrix) + payload.
+    model.add_area("scheduler", "iq_cam",
+                   sram_area_mm2(cfg.iq_size, 2 * 8, 2 * cfg.width, cam=True))
+    model.add_area("scheduler", "iq_select", 0.10 * cfg.width)
+    model.add_area("scheduler", "age_matrix",
+                   sram_area_mm2(cfg.iq_size, cfg.iq_size, 2))
+    model.add_area("scheduler", "window_control", 0.06 * cfg.width)
+    model.add_area("scheduler", "iq_payload", sram_area_mm2(cfg.iq_size, 96))
+    # iq_wakeup_cam counts entry-broadcasts (sum of occupancy over issues):
+    # each broadcast compares two source tags per entry.
+    model.add_dyn("scheduler", "iq_wakeup_cam", 5 * WAKEUP_PJ_PER_ENTRY)
+    # Prefix-sum select across the whole window, once per select port.
+    model.add_dyn("scheduler", "iq_select", 0.875 * cfg.iq_size * cfg.width)
+    model.add_dyn("scheduler", "iq_writes", ram_access_pj(cfg.iq_size, 96))
+    model.add_dyn("scheduler", "issued", ram_access_pj(cfg.iq_size, 96))
+    # ROB.
+    model.add_area("rob", "rob", sram_area_mm2(cfg.rob_size, 128, cfg.width))
+    model.add_dyn("rob", "rob_writes", ram_access_pj(cfg.rob_size, 128, cfg.width))
+    model.add_dyn("rob", "rob_reads", ram_access_pj(cfg.rob_size, 128, cfg.width))
+    # LSU: LQ + unified SQ/SB, both CAMs (the OoO+NoLQ variant of Figure 9
+    # drops the load queue entirely).
+    if cfg.disambiguation not in ("nolq", "nolq_osca"):
+        model.add_area("lsu", "lq", sram_area_mm2(cfg.lq_size, 52, 2, cam=True))
+        model.add_dyn("lsu", "lq_searches", 8 * cam_search_pj(cfg.lq_size, 44))
+        model.add_dyn("lsu", "lq_writes", 2 * ram_access_pj(cfg.lq_size, 52))
+        model.add_dyn("lsu", "lq_reads", ram_access_pj(cfg.lq_size, 52))
+    model.add_area("lsu", "sq", sram_area_mm2(cfg.sq_sb_size, 108, 2, cam=True))
+    model.add_dyn("lsu", "sq_searches", 4 * cam_search_pj(cfg.sq_sb_size, 44))
+    model.add_dyn("lsu", "sq_writes", ram_access_pj(cfg.sq_sb_size, 108))
+    model.add_dyn("lsu", "sq_reads", ram_access_pj(cfg.sq_sb_size, 108))
+    model.add_dyn("lsu", "sb_retires", ram_access_pj(cfg.sq_sb_size, 108))
+
+
+# -- CASINO -----------------------------------------------------------------------
+
+
+def _casino_inventory(model: CorePowerModel) -> None:
+    cfg = model.cfg
+    prf_entries = cfg.prf_int + cfg.prf_fp
+    prf_ports = 3 * cfg.width
+    # Rename: smaller RAT (conditional allocation), recovery log.
+    model.add_area("rename", "rat", sram_area_mm2(NUM_ARCH_REGS, 8, 2 * cfg.width))
+    model.add_dyn("rename", "rat_reads", ram_access_pj(NUM_ARCH_REGS, 8, 2 * cfg.width))
+    model.add_dyn("rename", "rat_writes", ram_access_pj(NUM_ARCH_REGS, 8, 2 * cfg.width))
+    model.add_dyn("rename", "freelist_ops", 1.2)
+    model.add_dyn("rename", "reg_allocs", 1.2)
+    model.add_area("rename", "recovery_log", sram_area_mm2(16, 16))
+    model.add_dyn("rename", "producer_count_incs", 0.8)
+    # PRF (smaller than OoO) + PRF scoreboard.
+    model.add_area("rf", "prf", sram_area_mm2(prf_entries, 64, prf_ports))
+    model.add_dyn("rf", "prf_reads", ram_access_pj(prf_entries, 64, prf_ports))
+    model.add_dyn("rf", "prf_writes", ram_access_pj(prf_entries, 64, prf_ports))
+    model.add_area("rf", "prf_scb", sram_area_mm2(prf_entries, 10))
+    model.add_dyn("rf", "siq_examined", 2 * ram_access_pj(prf_entries, 10))
+    # Each SpecInO examination reads the RAT for the window's sources.
+    model.add_dyn("rename", "siq_examined", 4.0)
+    # Cascaded FIFOs: S-IQ(s) + IQ (no wakeup CAM, no select logic).
+    siq_total = cfg.siq_size + cfg.n_intermediate_siqs * cfg.intermediate_siq_size
+    model.add_area("scheduler", "siq", sram_area_mm2(siq_total, 96))
+    model.add_area("scheduler", "iq", sram_area_mm2(cfg.iq_size, 96))
+    model.add_dyn("scheduler", "dispatched", ram_access_pj(siq_total, 96))
+    model.add_dyn("scheduler", "siq_passes", ram_access_pj(cfg.iq_size, 96))
+    model.add_dyn("scheduler", "issued", ram_access_pj(cfg.iq_size, 96))
+    # Data buffer.
+    model.add_area("scheduler", "data_buffer",
+                   sram_area_mm2(cfg.data_buffer_size, 64))
+    model.add_dyn("scheduler", "dbuf_access",
+                  ram_access_pj(cfg.data_buffer_size, 64))
+    # ROB.
+    model.add_area("rob", "rob", sram_area_mm2(cfg.rob_size, 128, cfg.width))
+    model.add_dyn("rob", "rob_writes", ram_access_pj(cfg.rob_size, 128, cfg.width))
+    model.add_dyn("rob", "rob_reads", ram_access_pj(cfg.rob_size, 128, cfg.width))
+    # LSU: unified SQ/SB CAM + OSCA, no LQ.
+    model.add_area("lsu", "sq_sb", sram_area_mm2(cfg.sq_sb_size, 108, 2, cam=True))
+    model.add_dyn("lsu", "sq_searches", 4 * cam_search_pj(cfg.sq_sb_size, 44))
+    model.add_dyn("lsu", "sq_writes", ram_access_pj(cfg.sq_sb_size, 108))
+    model.add_dyn("lsu", "sb_retires", ram_access_pj(cfg.sq_sb_size, 108))
+    if cfg.disambiguation == "fully_ooo":
+        model.add_area("lsu", "lq", sram_area_mm2(cfg.lq_size, 52, cam=True))
+        model.add_dyn("lsu", "lq_searches", cam_search_pj(cfg.lq_size, 44))
+        model.add_dyn("lsu", "lq_writes", 2 * ram_access_pj(cfg.lq_size, 52))
+        model.add_dyn("lsu", "lq_reads", ram_access_pj(cfg.lq_size, 52))
+    if cfg.disambiguation == "nolq_osca":
+        model.add_area("lsu", "osca", sram_area_mm2(cfg.osca_entries, 4))
+        model.add_dyn("lsu", "osca_access", ram_access_pj(cfg.osca_entries, 4))
+
+
+# -- slice cores (LSC / Freeway) ------------------------------------------------------
+
+
+def _slice_inventory(model: CorePowerModel) -> None:
+    cfg = model.cfg
+    ports = 2 * cfg.width
+    model.add_area("rf", "arf", _arf_area(ports))
+    model.add_dyn("rf", "issued", 2 * ram_access_pj(NUM_ARCH_REGS, 64, ports))
+    queues = cfg.biq_size + cfg.aiq_size + (cfg.yiq_size if cfg.kind == "freeway" else 0)
+    model.add_area("scheduler", "iqs", sram_area_mm2(queues, 96))
+    model.add_dyn("scheduler", "dispatched", ram_access_pj(cfg.biq_size, 96))
+    model.add_dyn("scheduler", "issued", ram_access_pj(cfg.biq_size, 96))
+    model.add_area("scheduler", "ist", sram_area_mm2(cfg.ist_entries, 10))
+    model.add_dyn("scheduler", "dispatched", ram_access_pj(cfg.ist_entries, 10))
+    model.add_area("rob", "rob", sram_area_mm2(cfg.rob_size, 64, cfg.width))
+    model.add_dyn("rob", "dispatched", ram_access_pj(cfg.rob_size, 64))
+    model.add_dyn("rob", "committed", ram_access_pj(cfg.rob_size, 64))
+    model.add_area("lsu", "sb", sram_area_mm2(cfg.sq_sb_size, 108, cam=True))
+    model.add_dyn("lsu", "mem_loads", cam_search_pj(cfg.sq_sb_size, 44))
+    model.add_dyn("lsu", "sb_retires", ram_access_pj(cfg.sq_sb_size, 108))

@@ -1,0 +1,71 @@
+"""CACTI-style scaling laws for small core structures at a 22 nm-class node.
+
+These are analytical fits, not a circuit simulator: the paper's conclusions
+rest on *relative* energies (a CAM search across N entries costs ~N tag
+comparisons; a RAM access scales ~sqrt(entries); ports multiply both), and
+those relations are what the formulas preserve.  The absolute constants are
+calibrated (see the module docstring of :mod:`repro.power.accounting`) so
+the InO / CASINO / OoO totals reproduce the relative areas and energies the
+paper obtained from its modified McPAT + CACTI 6.5 flow.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Energy anchors (picojoules).
+_RAM_PJ_PER_BIT = 0.030      # per bit at 64-entry scale
+_CAM_PJ_PER_ENTRY_BIT = 0.020
+_WORDLINE_BASE_PJ = 0.5
+
+#: Per-entry-broadcast wakeup energy (pJ) for a 2-source-tag IQ CAM entry.
+WAKEUP_PJ_PER_ENTRY = 2 * 8 * _CAM_PJ_PER_ENTRY_BIT
+
+# Area anchors (mm^2 per bit) including decoder/sense overhead.
+_MM2_PER_BIT = 2.0e-6
+_CAM_AREA_FACTOR = 3.0       # CAM cells ~2x SRAM plus match/priority logic
+_PORT_AREA_EXP = 1.5
+
+# Functional-unit energies (pJ/op) and areas (mm^2), 22 nm class.
+FU_ENERGY_PJ = {"alu": 5.0, "fpu": 18.0, "agu": 3.5, "mul": 12.0}
+FU_AREA_MM2 = {"alu": 0.012, "fpu": 0.045, "agu": 0.008}
+
+# L1 cache access energy (pJ) — core-side; L2/DRAM excluded per the paper.
+L1_ACCESS_PJ = 22.0
+L1_AREA_MM2 = 0.50           # 32 KiB 8-way incl. tags at 22 nm
+
+#: Leakage density: watts per mm^2 at 22 nm (low-leakage cells).
+LEAKAGE_W_PER_MM2 = 0.015
+
+#: Core clock (Table I: 2 GHz) used to convert cycles to seconds.
+CORE_CLOCK_HZ = 2.0e9
+
+
+def ram_access_pj(entries: int, width_bits: int, ports: int = 1) -> float:
+    """Energy of one RAM read/write.
+
+    Wordline/bitline energy grows ~sqrt(entries) (square array), linear in
+    width, and each extra port lengthens wires (~30% per port).
+    """
+    entries = max(entries, 1)
+    scale = math.sqrt(entries / 64.0)
+    port_factor = 1.0 + 0.3 * (ports - 1)
+    return (_WORDLINE_BASE_PJ
+            + _RAM_PJ_PER_BIT * width_bits * max(scale, 0.25)) * port_factor
+
+
+def cam_search_pj(entries: int, tag_bits: int, ports: int = 1) -> float:
+    """Energy of one associative search: every entry compares its tag."""
+    port_factor = 1.0 + 0.3 * (ports - 1)
+    return (_WORDLINE_BASE_PJ
+            + _CAM_PJ_PER_ENTRY_BIT * max(entries, 1) * tag_bits) * port_factor
+
+
+def sram_area_mm2(entries: int, width_bits: int, ports: int = 1,
+                  cam: bool = False) -> float:
+    """Area of an SRAM/CAM array including port overhead."""
+    bits = max(entries, 1) * width_bits
+    area = bits * _MM2_PER_BIT * (ports ** _PORT_AREA_EXP)
+    if cam:
+        area *= _CAM_AREA_FACTOR
+    return area

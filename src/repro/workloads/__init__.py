@@ -1,0 +1,36 @@
+"""Workloads: synthetic SPEC CPU2006-like profiles and assembled kernels.
+
+The paper evaluates 12 SPECint + 13 SPECfp applications (300M-instruction
+SimPoints).  SPEC binaries and reference inputs are licensed and far beyond a
+Python timing model's throughput, so this package substitutes seeded
+*synthetic applications*: each named profile generates a deterministic
+dynamic instruction stream from a randomly-wired static program whose
+dependence-chain shapes, memory footprint/locality, pointer chasing, branch
+behaviour and store->load aliasing are tuned to the qualitative behaviour the
+paper reports for that application (see DESIGN.md, Substitutions).
+"""
+
+from repro.workloads.characterize import TraceProfile, characterize
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+from repro.workloads.kernels import KERNELS, kernel_trace
+from repro.workloads.suite import (
+    SPEC_FP,
+    SPEC_INT,
+    SUITE,
+    get_profile,
+    suite_profiles,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "TraceProfile",
+    "characterize",
+    "KERNELS",
+    "kernel_trace",
+    "SPEC_INT",
+    "SPEC_FP",
+    "SUITE",
+    "get_profile",
+    "suite_profiles",
+]

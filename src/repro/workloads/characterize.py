@@ -1,0 +1,132 @@
+"""Trace characterisation: the statistics a workload substitution must get
+right.
+
+The synthetic suite stands in for SPEC CPU2006 (DESIGN.md, Substitutions);
+this module measures, from a generated trace, the properties the paper's
+mechanisms are sensitive to — instruction mix, register dependence
+distances, memory footprint and line reuse, store->load alias distance, and
+static-code recurrence — so profiles can be validated and compared
+quantitatively (see ``tests/test_characterize.py`` and the
+``python -m repro characterize`` command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instruction import DynInst
+
+
+@dataclass
+class TraceProfile:
+    """Measured characteristics of one dynamic trace."""
+
+    n_instrs: int = 0
+    # Mix (fractions of all instructions).
+    frac_loads: float = 0.0
+    frac_stores: float = 0.0
+    frac_branches: float = 0.0
+    frac_fp: float = 0.0
+    # Dependences.
+    mean_dep_distance: float = 0.0     # instructions back to the producer
+    frac_ready_at_rename: float = 0.0  # sources produced >= 8 instrs ago
+    # Memory behaviour.
+    footprint_bytes: int = 0
+    unique_lines: int = 0
+    line_reuse: float = 0.0            # accesses per distinct 64B line
+    mean_alias_distance: float = 0.0   # store -> aliasing load distance
+    alias_pairs: int = 0
+    # Control flow.
+    taken_rate: float = 0.0
+    static_pcs: int = 0
+    dynamic_per_static: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+def characterize(trace: Sequence[DynInst],
+                 ready_horizon: int = 8) -> TraceProfile:
+    """Measure a trace.  ``ready_horizon`` is the dependence distance
+    beyond which a source is counted as 'stale' (ready at rename) — the
+    operand class that fuels CASINO's speculative issue."""
+    out = TraceProfile(n_instrs=len(trace))
+    if not trace:
+        return out
+    loads = stores = branches = fp = taken = 0
+    last_writer_pos: Dict[int, int] = {}
+    dep_distances: List[int] = []
+    stale_sources = total_sources = 0
+    lines: Dict[int, int] = {}
+    last_store_pos: Dict[int, int] = {}
+    alias_distances: List[int] = []
+    pcs = set()
+
+    for pos, inst in enumerate(trace):
+        pcs.add(inst.pc)
+        if inst.is_load:
+            loads += 1
+        if inst.is_store:
+            stores += 1
+        if inst.is_branch:
+            branches += 1
+            if inst.taken:
+                taken += 1
+        if inst.op.is_fp:
+            fp += 1
+        for src in inst.srcs:
+            total_sources += 1
+            writer = last_writer_pos.get(src)
+            if writer is None:
+                stale_sources += 1
+                continue
+            distance = pos - writer
+            dep_distances.append(distance)
+            if distance >= ready_horizon:
+                stale_sources += 1
+        if inst.dst is not None:
+            last_writer_pos[inst.dst] = pos
+        if inst.mem_addr is not None:
+            line = inst.mem_addr >> 6
+            lines[line] = lines.get(line, 0) + 1
+            if inst.is_store:
+                last_store_pos[inst.mem_addr] = pos
+            elif inst.is_load:
+                store_pos = last_store_pos.get(inst.mem_addr)
+                if store_pos is not None:
+                    alias_distances.append(pos - store_pos)
+
+    n = len(trace)
+    out.frac_loads = loads / n
+    out.frac_stores = stores / n
+    out.frac_branches = branches / n
+    out.frac_fp = fp / n
+    if dep_distances:
+        out.mean_dep_distance = sum(dep_distances) / len(dep_distances)
+    if total_sources:
+        out.frac_ready_at_rename = stale_sources / total_sources
+    out.unique_lines = len(lines)
+    out.footprint_bytes = len(lines) * 64
+    accesses = sum(lines.values())
+    out.line_reuse = accesses / len(lines) if lines else 0.0
+    if alias_distances:
+        out.mean_alias_distance = sum(alias_distances) / len(alias_distances)
+        out.alias_pairs = len(alias_distances)
+    out.taken_rate = taken / branches if branches else 0.0
+    out.static_pcs = len(pcs)
+    out.dynamic_per_static = n / len(pcs)
+    return out
+
+
+def compare(a: TraceProfile, b: TraceProfile,
+            keys: Optional[Sequence[str]] = None) -> Dict[str, float]:
+    """Relative differences (b vs a) for selected metrics — handy when
+    tuning a profile against a reference characterisation."""
+    keys = keys or ["frac_loads", "frac_stores", "frac_branches",
+                    "mean_dep_distance", "line_reuse", "taken_rate"]
+    out = {}
+    for key in keys:
+        va, vb = getattr(a, key), getattr(b, key)
+        out[key] = (vb - va) / va if va else float("inf") if vb else 0.0
+    return out

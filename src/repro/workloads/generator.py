@@ -1,0 +1,434 @@
+"""Synthetic application generator.
+
+A :class:`WorkloadProfile` describes an application statistically; a
+:class:`SyntheticWorkload` expands it into a deterministic dynamic
+instruction stream in two phases:
+
+1. **Static phase** — build a random static program: a ring of basic blocks,
+   each a fixed sequence of micro-ops with fixed register wiring, memory
+   "streams" (strided / random-in-footprint / pointer-chase) bound to the
+   memory slots, and a branch personality (loop / biased / patterned /
+   random) bound to each block-ending branch.  Static structure repeats every
+   iteration, giving predictors and slice tables real PC recurrence.
+
+2. **Dynamic phase** — walk the ring repeatedly, resolving addresses from
+   per-stream state and branch outcomes from each branch's personality,
+   emitting :class:`~repro.isa.instruction.DynInst` records until the
+   requested instruction count is reached.
+
+Everything is driven by one seeded :class:`random.Random`, so a profile
+always produces bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.params import NUM_FP_ARCH, NUM_INT_ARCH
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+# Memory stream behaviours.
+STREAM_STRIDE = "stride"
+STREAM_RANDOM = "random"
+STREAM_CHASE = "chase"
+
+# Branch personalities.
+BR_LOOP = "loop"        # block-repeat back-edge: taken (reps-1)/reps of the time
+BR_BIASED = "biased"    # strongly biased conditional, easy to predict
+BR_PATTERN = "pattern"  # short periodic pattern, learnable by TAGE
+BR_RANDOM = "random"    # coin flip at the profile's bias - hard to predict
+
+
+@dataclass
+class WorkloadProfile:
+    """Statistical description of one synthetic application."""
+
+    name: str
+    seed: int = 1
+    n_instrs: int = 30_000
+
+    # Instruction mix (fractions of all non-branch slots).
+    frac_mem: float = 0.35          # loads + stores
+    frac_store: float = 0.30        # share of memory ops that are stores
+    frac_fp: float = 0.10           # share of compute ops that are FP
+    frac_mul: float = 0.06          # share of INT compute that is multiply
+    frac_div: float = 0.01          # share of INT compute that is divide
+    frac_fp_div: float = 0.03       # share of FP compute that is divide
+
+    # Static shape.
+    n_blocks: int = 24
+    block_len_mean: int = 9         # non-branch ops per block (>=2)
+    loop_block_frac: float = 0.25   # blocks that self-repeat (inner loops)
+    loop_reps_mean: int = 4
+
+    # Dependence wiring.
+    serial_frac: float = 0.22       # src = most recent writer (serial chains)
+    dep_geom_p: float = 0.30        # geometric(P) dependence distance otherwise
+    load_consumer_frac: float = 0.30  # compute ops wired onto the latest load
+    stale_src_frac: float = 0.35    # sources reading long-stable registers
+    addr_stable_frac: float = 0.70  # load/store bases that are stable regs
+
+    # Memory behaviour.
+    footprint_kib: int = 256
+    rand_locality: float = 0.85     # random-stream accesses near the last one
+    n_mem_streams: int = 6
+    frac_stream: float = 0.50       # strided streams (cache friendly)
+    frac_random: float = 0.35       # uniform within the footprint
+    frac_chase: float = 0.15        # serialised pointer chasing
+    chase_region_kib: int = 512
+    alias_frac: float = 0.05        # loads reading a just-stored address
+    alias_distance: int = 4         # slots between the store and aliasing load
+
+    # Branch behaviour.
+    br_random_frac: float = 0.10    # block-ending branches that are coin flips
+    br_pattern_frac: float = 0.25
+    br_bias: float = 0.90           # taken-probability of biased branches
+    br_pattern_period: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.999 <= self.frac_stream + self.frac_random + self.frac_chase <= 1.001:
+            raise ValueError(
+                f"{self.name}: stream/random/chase fractions must sum to 1")
+
+
+@dataclass
+class _MemStream:
+    kind: str
+    base: int
+    span: int            # bytes
+    stride: int = 64
+    addr: int = 0
+    hot: list = field(default_factory=list)  # recently-touched addresses
+
+
+@dataclass
+class _Slot:
+    """One static micro-op slot inside a block."""
+
+    pc: int
+    op: OpClass
+    dst: Optional[int] = None
+    srcs: tuple = ()
+    stream: Optional[int] = None     # memory stream index
+    alias_store: bool = False        # store opening an alias pair
+    alias_of: Optional[int] = None   # slot index (within block) of paired store
+
+
+@dataclass
+class _Block:
+    pc: int
+    slots: List[_Slot] = field(default_factory=list)
+    branch_pc: int = 0
+    br_kind: str = BR_BIASED
+    loop_reps: int = 1
+    pattern_phase: int = 0
+    next_pc: int = 0                 # fall-through target (next block)
+
+
+class SyntheticWorkload:
+    """Deterministic dynamic-trace generator for one profile."""
+
+    def __init__(self, profile: WorkloadProfile) -> None:
+        self.profile = profile
+        self.rng = random.Random(profile.seed * 0x5DEECE66D + 0xB)
+        self._build_streams()
+        self._build_static()
+
+    # -- static construction ------------------------------------------------
+
+    def _build_streams(self) -> None:
+        p = self.profile
+        rng = self.rng
+        self.streams: List[_MemStream] = []
+        footprint = p.footprint_kib * 1024
+        kinds = ([STREAM_STRIDE] * max(1, round(p.frac_stream * p.n_mem_streams))
+                 + [STREAM_RANDOM] * max(0, round(p.frac_random * p.n_mem_streams))
+                 + [STREAM_CHASE] * max(0, round(p.frac_chase * p.n_mem_streams)))
+        if p.frac_chase > 0 and STREAM_CHASE not in kinds:
+            kinds.append(STREAM_CHASE)
+        if p.frac_random > 0 and STREAM_RANDOM not in kinds:
+            kinds.append(STREAM_RANDOM)
+        # The profile's footprint is the application's *total* data working
+        # set: split it across the non-chase streams so small-footprint apps
+        # really fit in the caches.
+        n_regular = max(1, sum(1 for k in kinds if k != STREAM_CHASE))
+        span_regular = max(4096, footprint // n_regular)
+        offset = 0x10_0000
+        for kind in kinds:
+            span = (max(4096, p.chase_region_kib * 1024)
+                    if kind == STREAM_CHASE else span_regular)
+            stride = rng.choice((8, 8, 8, 16, 64))
+            stream = _MemStream(kind=kind, base=offset, span=span,
+                                stride=stride, addr=offset)
+            offset += span + 0x1_0000
+            self.streams.append(stream)
+        # Weights used when binding memory slots to streams.
+        self._stream_weights = []
+        for stream in self.streams:
+            if stream.kind == STREAM_STRIDE:
+                self._stream_weights.append(p.frac_stream)
+            elif stream.kind == STREAM_RANDOM:
+                self._stream_weights.append(p.frac_random)
+            else:
+                self._stream_weights.append(p.frac_chase)
+
+    def _pick_stream(self) -> int:
+        return self.rng.choices(range(len(self.streams)),
+                                weights=self._stream_weights)[0]
+
+    def _build_static(self) -> None:
+        p = self.profile
+        rng = self.rng
+        self.blocks: List[_Block] = []
+        pc = 0x1000
+        # Register pools.  A few registers are reserved as *stable* names
+        # (base pointers, loop bounds, constants): they are read often but
+        # written rarely, so reading them never blocks — the dominant
+        # operand pattern in real code and the fuel for speculative issue.
+        self._int_pool = list(range(1, NUM_INT_ARCH - 4))
+        self._stable_int = list(range(NUM_INT_ARCH - 4, NUM_INT_ARCH))
+        self._fp_pool = list(range(NUM_INT_ARCH, NUM_INT_ARCH + NUM_FP_ARCH - 2))
+        self._stable_fp = list(range(NUM_INT_ARCH + NUM_FP_ARCH - 2,
+                                     NUM_INT_ARCH + NUM_FP_ARCH))
+        recent_int: List[int] = [1, 2, 3]
+        recent_fp: List[int] = [NUM_INT_ARCH]
+        last_load_dst: Optional[int] = None
+        # Per-stream "pointer" register carrying chase-load results.
+        chase_reg = {i: self._int_pool[(3 + i) % len(self._int_pool)]
+                     for i, s in enumerate(self.streams) if s.kind == STREAM_CHASE}
+
+        for b in range(p.n_blocks):
+            block = _Block(pc=pc)
+            length = max(2, round(rng.gauss(p.block_len_mean, 2)))
+            pending_alias: List[tuple] = []  # (emit_at_index, store_slot_idx)
+            for j in range(length):
+                op = self._pick_op()
+                slot = _Slot(pc=pc, op=op)
+                pc += 4
+                due_alias = next((a for a in pending_alias if a[0] <= j), None)
+                if due_alias is not None and not op.is_mem:
+                    # Convert this slot into the aliasing load.
+                    pending_alias.remove(due_alias)
+                    slot.op = OpClass.LOAD
+                    slot.alias_of = due_alias[1]
+                    slot.dst = self._pick_dst(False, recent_int, recent_fp)
+                    slot.srcs = (self._pick_src(False, recent_int, recent_fp,
+                                                last_load_dst),)
+                    block.slots.append(slot)
+                    last_load_dst = slot.dst
+                    continue
+                if op.is_mem:
+                    stream_idx = self._pick_stream()
+                    stream = self.streams[stream_idx]
+                    slot.stream = stream_idx
+                    fp = op in (OpClass.LOAD_FP, OpClass.STORE_FP)
+                    if stream.kind == STREAM_CHASE and op.is_load:
+                        # Pointer chase: address register is the destination
+                        # of the previous load of this stream.
+                        reg = chase_reg.get(stream_idx,
+                                            self._int_pool[stream_idx % 8])
+                        slot.srcs = (reg,)
+                        slot.dst = reg
+                        slot.op = OpClass.LOAD
+                        block.slots.append(slot)
+                        last_load_dst = reg
+                        recent_int.append(reg)
+                        continue
+                    if rng.random() < p.addr_stable_frac:
+                        base = rng.choice(self._stable_int)
+                    else:
+                        base = self._pick_src(False, recent_int, recent_fp, None)
+                    if op.is_load:
+                        slot.dst = self._pick_dst(fp, recent_int, recent_fp)
+                        slot.srcs = (base,)
+                        last_load_dst = slot.dst
+                    else:
+                        data = self._pick_src(fp, recent_int, recent_fp,
+                                              last_load_dst)
+                        slot.srcs = (base, data)
+                        if rng.random() < p.alias_frac:
+                            slot.alias_store = True
+                            pending_alias.append(
+                                (j + max(1, min(p.alias_distance, length - j - 1)),
+                                 len(block.slots)))
+                else:
+                    fp = op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV)
+                    n_srcs = 2
+                    srcs = tuple(self._pick_src(fp, recent_int, recent_fp,
+                                                last_load_dst)
+                                 for _ in range(n_srcs))
+                    slot.srcs = srcs
+                    slot.dst = self._pick_dst(fp, recent_int, recent_fp)
+                block.slots.append(slot)
+                if slot.dst is not None:
+                    if slot.dst >= NUM_INT_ARCH:
+                        recent_fp.append(slot.dst)
+                        del recent_fp[:-6]
+                    else:
+                        recent_int.append(slot.dst)
+                        del recent_int[:-10]
+            # Block-ending branch.
+            block.branch_pc = pc
+            pc += 4
+            roll = rng.random()
+            if rng.random() < p.loop_block_frac:
+                block.br_kind = BR_LOOP
+                block.loop_reps = max(2, round(rng.expovariate(
+                    1.0 / p.loop_reps_mean)))
+            elif roll < p.br_random_frac:
+                block.br_kind = BR_RANDOM
+            elif roll < p.br_random_frac + p.br_pattern_frac:
+                block.br_kind = BR_PATTERN
+                block.pattern_phase = rng.randrange(p.br_pattern_period)
+            else:
+                block.br_kind = BR_BIASED
+            self.blocks.append(block)
+        for i, block in enumerate(self.blocks):
+            block.next_pc = self.blocks[(i + 1) % len(self.blocks)].pc
+
+    def _pick_op(self) -> OpClass:
+        p, rng = self.profile, self.rng
+        if rng.random() < p.frac_mem:
+            store = rng.random() < p.frac_store
+            fp = rng.random() < p.frac_fp
+            if store:
+                return OpClass.STORE_FP if fp else OpClass.STORE
+            return OpClass.LOAD_FP if fp else OpClass.LOAD
+        if rng.random() < p.frac_fp:
+            roll = rng.random()
+            if roll < p.frac_fp_div:
+                return OpClass.FP_DIV
+            return OpClass.FP_MUL if roll < 0.5 else OpClass.FP_ADD
+        roll = rng.random()
+        if roll < p.frac_div:
+            return OpClass.INT_DIV
+        if roll < p.frac_div + p.frac_mul:
+            return OpClass.INT_MUL
+        return OpClass.INT_ALU
+
+    def _pick_src(self, fp: bool, recent_int: List[int], recent_fp: List[int],
+                  last_load_dst: Optional[int]) -> int:
+        p, rng = self.profile, self.rng
+        pool = recent_fp if fp else recent_int
+        if rng.random() < p.stale_src_frac:
+            return rng.choice(self._stable_fp if fp else self._stable_int)
+        if (last_load_dst is not None and rng.random() < p.load_consumer_frac
+                and (last_load_dst >= NUM_INT_ARCH) == fp):
+            return last_load_dst
+        if rng.random() < p.serial_frac and pool:
+            return pool[-1]
+        if not pool:
+            return NUM_INT_ARCH if fp else 1
+        distance = min(len(pool), 1 + int(rng.expovariate(p.dep_geom_p)))
+        return pool[-distance]
+
+    def _pick_dst(self, fp: bool, recent_int: List[int],
+                  recent_fp: List[int]) -> int:
+        rng = self.rng
+        if rng.random() < 0.02:
+            # Occasionally refresh a stable register (pointer bump etc.).
+            return rng.choice(self._stable_fp if fp else self._stable_int)
+        if fp:
+            return rng.choice(self._fp_pool)
+        return rng.choice(self._int_pool)
+
+    # -- dynamic generation --------------------------------------------------
+
+    def generate(self, n_instrs: Optional[int] = None) -> List[DynInst]:
+        """Produce the dynamic trace (``n_instrs`` overrides the profile)."""
+        p = self.profile
+        limit = n_instrs if n_instrs is not None else p.n_instrs
+        rng = random.Random(p.seed * 0x2545F491 + 0x1F)
+        out: List[DynInst] = []
+        iteration = 0
+        alias_addr: dict = {}
+        while len(out) < limit:
+            for block in self.blocks:
+                reps = block.loop_reps if block.br_kind == BR_LOOP else 1
+                for rep in range(reps):
+                    for idx, slot in enumerate(block.slots):
+                        dyn = DynInst(pc=slot.pc, op=slot.op, srcs=slot.srcs,
+                                      dst=slot.dst)
+                        if slot.op.is_mem:
+                            dyn.mem_size = 8
+                            if slot.alias_of is not None:
+                                dyn.mem_addr = alias_addr.get(
+                                    (id(block), slot.alias_of), 0x10_0000)
+                            else:
+                                dyn.mem_addr = self._next_addr(slot.stream, rng)
+                                if slot.alias_store:
+                                    alias_addr[(id(block), idx)] = dyn.mem_addr
+                        out.append(dyn)
+                        if len(out) >= limit:
+                            return out
+                    taken = self._branch_outcome(block, rep, reps, iteration, rng)
+                    target = block.pc if block.br_kind == BR_LOOP else block.next_pc
+                    dyn = DynInst(pc=block.branch_pc, op=OpClass.BRANCH,
+                                  srcs=self._branch_srcs(block), taken=taken,
+                                  target=target if taken else None)
+                    if taken:
+                        dyn.target = target
+                    out.append(dyn)
+                    if len(out) >= limit:
+                        return out
+                    if block.br_kind == BR_LOOP and not taken:
+                        break
+            iteration += 1
+        return out
+
+    def _branch_srcs(self, block: _Block) -> tuple:
+        # Branches test the most recent integer results in the block, so
+        # their resolution waits on real work.
+        for slot in reversed(block.slots):
+            if slot.dst is not None and slot.dst < NUM_INT_ARCH:
+                return (slot.dst,)
+        return (1,)
+
+    def _branch_outcome(self, block: _Block, rep: int, reps: int,
+                        iteration: int, rng: random.Random) -> bool:
+        p = self.profile
+        if block.br_kind == BR_LOOP:
+            return rep < reps - 1
+        if block.br_kind == BR_RANDOM:
+            return rng.random() < 0.5
+        if block.br_kind == BR_PATTERN:
+            return ((iteration + block.pattern_phase)
+                    % p.br_pattern_period) != 0
+        return rng.random() < p.br_bias
+
+    def _next_addr(self, stream_idx: Optional[int], rng: random.Random) -> int:
+        if stream_idx is None:
+            stream_idx = 0
+        stream = self.streams[stream_idx]
+        if stream.kind == STREAM_STRIDE:
+            stream.addr += stream.stride
+            if stream.addr >= stream.base + stream.span:
+                stream.addr = stream.base
+            return stream.addr
+        if stream.kind == STREAM_RANDOM:
+            hot = stream.hot
+            if hot and rng.random() < self.profile.rand_locality:
+                # Temporal/spatial locality: revisit a hot address, possibly
+                # a neighbouring word on the same line.
+                addr = hot[rng.randrange(len(hot))] + (rng.randrange(8) << 3)
+            else:
+                addr = stream.base + (rng.randrange(stream.span) & ~7)
+                hot.append(addr & ~63)
+                if len(hot) > 24:
+                    del hot[0]
+            stream.addr = addr
+            return addr
+        # Pointer chase: deterministic scrambled walk touching a new cache
+        # line each step.
+        nxt = (stream.addr * 0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019) & ((1 << 63) - 1)
+        stream.addr = stream.base + ((nxt % stream.span) & ~63)
+        return stream.addr
+
+
+def generate_trace(profile: WorkloadProfile,
+                   n_instrs: Optional[int] = None) -> Sequence[DynInst]:
+    """Convenience: build the workload and produce its trace."""
+    return SyntheticWorkload(profile).generate(n_instrs)

@@ -1,0 +1,342 @@
+"""Hand-written assembly kernels run on the functional emulator.
+
+These are real programs with real dataflow — useful for validating the
+timing cores against schedules you can reason about by hand, and as the
+domain-specific examples:
+
+* ``pointer_chase`` — a linked-list walk: serial cache misses, the workload
+  class where stall-on-use InO and OoO converge (no MLP to extract).
+* ``daxpy`` — streaming FP: independent iterations, plenty of ILP + MLP.
+* ``reduction`` — serial FP accumulation fed by streaming loads.
+* ``histogram`` — load/compute/store with store->load aliasing potential.
+* ``stencil3`` — 3-point stencil: overlapping loads, short FP chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.assembler import assemble
+from repro.isa.emulator import Emulator
+from repro.isa.instruction import DynInst
+from repro.isa.program import Program
+
+
+def pointer_chase_program(nodes: int = 256, hops: int = 2048) -> Tuple[Program, Dict[int, int]]:
+    """Walk a pseudo-random singly-linked list for ``hops`` steps.
+
+    Returns the program plus an initial memory image holding the list, whose
+    nodes are spread one per cache line so every hop is a new line.
+    """
+    base = 0x40_0000
+    step = 0x1000  # 4 KiB apart: defeats the stride prefetcher
+    memory = {}
+    order = list(range(nodes))
+    # Deterministic shuffle (LCG) so the walk order is scattered.
+    state = 12345
+    for i in range(nodes - 1, 0, -1):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        j = state % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    for i in range(nodes):
+        src = base + order[i] * step
+        dst = base + order[(i + 1) % nodes] * step
+        memory[src] = dst
+    source = f"""
+        li   r1, {base + order[0] * step}   ; head pointer
+        li   r2, 0            ; hop counter
+        li   r3, {hops}
+        li   r4, 0            ; checksum
+    loop:
+        ld   r1, 0(r1)        ; p = p->next (serial miss chain)
+        add  r4, r4, r1
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    return assemble(source), memory
+
+
+def daxpy_program(n: int = 1024, unroll: int = 4,
+                  passes: int = 4) -> Tuple[Program, Dict[int, int]]:
+    """``y[i] += a * x[i]`` over ``n`` doubles, ``passes`` times over the
+    arrays (so timing reflects warm caches, not the cold first touch)."""
+    x_base, y_base = 0x10_0000, 0x20_0000
+    body = []
+    for u in range(unroll):
+        body.append(f"    fld  f1, {8 * u}(r1)")
+        body.append(f"    fld  f2, {8 * u}(r2)")
+        body.append("    fmul f3, f1, f0")
+        body.append("    fadd f4, f3, f2")
+        body.append(f"    fst  f4, {8 * u}(r2)")
+    source = "\n".join([
+        "    li   r5, 0",
+        "    li   r6, %d" % passes,
+        "    fli  f0, 3",
+        "pass:",
+        "    li   r1, %d" % x_base,
+        "    li   r2, %d" % y_base,
+        "    li   r3, 0",
+        "    li   r4, %d" % (n // unroll),
+        "loop:",
+        *body,
+        "    addi r1, r1, %d" % (8 * unroll),
+        "    addi r2, r2, %d" % (8 * unroll),
+        "    addi r3, r3, 1",
+        "    blt  r3, r4, loop",
+        "    addi r5, r5, 1",
+        "    blt  r5, r6, pass",
+        "    halt",
+    ])
+    memory = {x_base + 8 * i: i + 1 for i in range(n)}
+    memory.update({y_base + 8 * i: 2 * i for i in range(n)})
+    return assemble(source), memory
+
+
+def reduction_program(n: int = 2048) -> Tuple[Program, Dict[int, int]]:
+    """Serial FP sum of an array: one long dependence chain fed by loads."""
+    base = 0x30_0000
+    source = f"""
+        li   r1, {base}
+        li   r2, 0
+        li   r3, {n}
+        fli  f0, 0
+    loop:
+        fld  f1, 0(r1)
+        fadd f0, f0, f1       ; serial accumulation
+        addi r1, r1, 8
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    memory = {base + 8 * i: i for i in range(n)}
+    return assemble(source), memory
+
+
+def histogram_program(n: int = 2048, buckets: int = 64) -> Tuple[Program, Dict[int, int]]:
+    """Histogram: data-dependent read-modify-write with aliasing stores."""
+    data, hist = 0x50_0000, 0x60_0000
+    source = f"""
+        li   r1, {data}
+        li   r2, 0
+        li   r3, {n}
+        li   r6, {buckets - 1}
+    loop:
+        ld   r4, 0(r1)        ; value
+        andi r5, r4, {buckets - 1}
+        slli r5, r5, 3
+        addi r7, r5, {hist}
+        ld   r8, 0(r7)        ; hist[b]   (may alias the previous store)
+        addi r8, r8, 1
+        st   r8, 0(r7)        ; hist[b]++
+        addi r1, r1, 8
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    memory = {data + 8 * i: (i * 2654435761) & 0xFFFF for i in range(n)}
+    memory.update({hist + 8 * b: 0 for b in range(buckets)})
+    return assemble(source), memory
+
+
+def stencil3_program(n: int = 2048) -> Tuple[Program, Dict[int, int]]:
+    """3-point stencil ``out[i] = (a[i-1] + a[i] + a[i+1])``."""
+    a_base, out_base = 0x70_0000, 0x80_0000
+    source = f"""
+        li   r1, {a_base + 8}
+        li   r2, {out_base}
+        li   r3, 1
+        li   r4, {n - 1}
+    loop:
+        fld  f1, -8(r1)
+        fld  f2, 0(r1)
+        fld  f3, 8(r1)
+        fadd f4, f1, f2
+        fadd f5, f4, f3
+        fst  f5, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    memory = {a_base + 8 * i: i + 1 for i in range(n)}
+    return assemble(source), memory
+
+
+def matmul_program(n: int = 12) -> Tuple[Program, Dict[int, int]]:
+    """Naive ``C = A x B`` on n x n integer matrices (triple loop)."""
+    a_base, b_base, c_base = 0x90_0000, 0xA0_0000, 0xB0_0000
+    source = f"""
+        li   r1, 0            ; i
+    iloop:
+        li   r2, 0            ; j
+    jloop:
+        li   r3, 0            ; k
+        li   r4, 0            ; acc
+    kloop:
+        ; A[i][k]
+        li   r5, {n}
+        mul  r6, r1, r5
+        add  r6, r6, r3
+        slli r6, r6, 3
+        addi r6, r6, {a_base & 0xFFFFF}
+        li   r7, {a_base & ~0xFFFFF}
+        add  r6, r6, r7
+        ld   r8, 0(r6)
+        ; B[k][j]
+        mul  r9, r3, r5
+        add  r9, r9, r2
+        slli r9, r9, 3
+        li   r7, {b_base}
+        add  r9, r9, r7
+        ld   r10, 0(r9)
+        mul  r11, r8, r10
+        add  r4, r4, r11
+        addi r3, r3, 1
+        blt  r3, r5, kloop
+        ; C[i][j] = acc
+        li   r5, {n}
+        mul  r6, r1, r5
+        add  r6, r6, r2
+        slli r6, r6, 3
+        li   r7, {c_base}
+        add  r6, r6, r7
+        st   r4, 0(r6)
+        addi r2, r2, 1
+        blt  r2, r5, jloop
+        addi r1, r1, 1
+        blt  r1, r5, iloop
+        halt
+    """
+    memory = {}
+    for i in range(n):
+        for j in range(n):
+            memory[a_base + 8 * (i * n + j)] = i + j + 1
+            memory[b_base + 8 * (i * n + j)] = (i * j) % 7 + 1
+    return assemble(source), memory
+
+
+def memcpy_program(n: int = 2048) -> Tuple[Program, Dict[int, int]]:
+    """Word-wise copy of ``n`` doubles: pure load/store streaming."""
+    src_base, dst_base = 0xC0_0000, 0xD0_0000
+    source = f"""
+        li   r1, {src_base}
+        li   r2, {dst_base}
+        li   r3, 0
+        li   r4, {n}
+    loop:
+        ld   r5, 0(r1)
+        st   r5, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    memory = {src_base + 8 * i: i * 3 + 1 for i in range(n)}
+    return assemble(source), memory
+
+
+def binary_search_program(n: int = 1024,
+                          lookups: int = 256) -> Tuple[Program, Dict[int, int]]:
+    """Repeated binary searches over a sorted array: data-dependent
+    branches (hard for TAGE) and data-dependent addresses (hard for the
+    prefetcher)."""
+    base = 0xE0_0000
+    source = f"""
+        li   r10, 0           ; lookup counter
+        li   r11, {lookups}
+        li   r12, 12345       ; key-generator state
+    outer:
+        ; key = lcg(state) % n, pseudo-random but deterministic
+        li   r5, 1103515245
+        mul  r12, r12, r5
+        addi r12, r12, 12345
+        srli r5, r12, 16
+        andi r13, r5, {n - 1} ; key index
+        slli r5, r13, 1       ; key value = 2*index (array holds 2*i)
+        li   r1, 0            ; lo
+        li   r2, {n}          ; hi
+    search:
+        add  r3, r1, r2
+        srli r3, r3, 1        ; mid
+        slli r4, r3, 3
+        addi r4, r4, 0
+        li   r6, {base}
+        add  r4, r4, r6
+        ld   r7, 0(r4)        ; a[mid]
+        beq  r7, r5, found
+        blt  r7, r5, right
+        mv   r2, r3           ; hi = mid
+        jmp  check
+    right:
+        addi r1, r3, 1        ; lo = mid + 1
+    check:
+        blt  r1, r2, search
+    found:
+        addi r10, r10, 1
+        blt  r10, r11, outer
+        halt
+    """
+    memory = {base + 8 * i: 2 * i for i in range(n)}
+    return assemble(source), memory
+
+
+def partition_program(n: int = 1024) -> Tuple[Program, Dict[int, int]]:
+    """Hoare-style partition pass (the quicksort inner loop): branchy,
+    with stores close behind data-dependent loads."""
+    base = 0xF0_0000
+    source = f"""
+        li   r1, {base}       ; array
+        li   r2, 0            ; write cursor (store index)
+        li   r3, 0            ; read index
+        li   r4, {n}
+        li   r5, {n // 2}     ; pivot value ~ median of 0..n-1
+    loop:
+        slli r6, r3, 3
+        add  r6, r6, r1
+        ld   r7, 0(r6)        ; a[i]
+        bge  r7, r5, skip     ; if a[i] < pivot: swap into front
+        slli r8, r2, 3
+        add  r8, r8, r1
+        ld   r9, 0(r8)        ; a[w]
+        st   r7, 0(r8)        ; a[w] = a[i]
+        st   r9, 0(r6)        ; a[i] = old a[w]
+        addi r2, r2, 1
+    skip:
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    # Deterministically scrambled values 0..n-1.
+    memory = {}
+    state = 99
+    values = list(range(n))
+    for i in range(n - 1, 0, -1):
+        state = (state * 48271) % 2147483647
+        j = state % (i + 1)
+        values[i], values[j] = values[j], values[i]
+    for i, v in enumerate(values):
+        memory[base + 8 * i] = v
+    return assemble(source), memory
+
+
+#: All kernels by name: () -> (Program, memory image)
+KERNELS = {
+    "pointer_chase": pointer_chase_program,
+    "daxpy": daxpy_program,
+    "reduction": reduction_program,
+    "histogram": histogram_program,
+    "stencil3": stencil3_program,
+    "matmul": matmul_program,
+    "memcpy": memcpy_program,
+    "binary_search": binary_search_program,
+    "partition": partition_program,
+}
+
+
+def kernel_trace(name: str, **kwargs) -> List[DynInst]:
+    """Assemble, functionally execute and return the trace of a kernel."""
+    program, memory = KERNELS[name](**kwargs)
+    return list(Emulator(program, memory=memory).run())

@@ -1,0 +1,149 @@
+"""Named synthetic stand-ins for the SPEC CPU2006 applications of the paper.
+
+Each profile's parameters are chosen to echo that application's published
+characterisation (memory boundedness, branch behaviour, FP-ness, pointer
+chasing, store/load aliasing).  Notable anchors used by the paper itself:
+
+* ``cactusADM`` — long FP dependence chains behind cache-missing loads with
+  plenty of independent work: the biggest CASINO win (+89% over InO).
+* ``h264ref`` — many intricately-dependent loads and stores: frequent memory
+  order violations on the OoO core, so CASINO slightly beats OoO there.
+* ``mcf`` / ``omnetpp`` / ``xalancbmk`` — large-footprint pointer chasers.
+* ``libquantum`` / ``lbm``-like streamers — prefetcher-friendly.
+* ``hmmer`` / ``gamess`` — compute-dense, high baseline ILP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.generator import WorkloadProfile
+
+#: Default dynamic instruction count per application run.  Chosen so a full
+#: 25-app sweep of all five cores finishes in minutes in pure Python while
+#: still exercising thousands of loop iterations per app.
+DEFAULT_INSTRS = 24_000
+
+
+def _p(name: str, seed: int, **kw) -> WorkloadProfile:
+    kw.setdefault("n_instrs", DEFAULT_INSTRS)
+    return WorkloadProfile(name=name, seed=seed, **kw)
+
+
+#: The 12 SPECint-like profiles.
+SPEC_INT: List[WorkloadProfile] = [
+    _p("perlbench", 101, frac_mem=0.38, frac_store=0.35, frac_fp=0.0,
+       footprint_kib=384, frac_stream=0.40, frac_random=0.50, frac_chase=0.10,
+       br_random_frac=0.18, br_pattern_frac=0.30, alias_frac=0.08,
+       n_blocks=40, block_len_mean=7),
+    _p("bzip2", 102, frac_mem=0.34, frac_store=0.30, frac_fp=0.0,
+       footprint_kib=512, frac_stream=0.55, frac_random=0.40, frac_chase=0.05,
+       br_random_frac=0.22, br_pattern_frac=0.20, block_len_mean=8),
+    _p("gcc", 103, frac_mem=0.40, frac_store=0.36, frac_fp=0.0,
+       footprint_kib=1024, frac_stream=0.35, frac_random=0.50, frac_chase=0.15,
+       br_random_frac=0.20, br_pattern_frac=0.30, alias_frac=0.07,
+       n_blocks=48, block_len_mean=6),
+    _p("mcf", 104, frac_mem=0.42, frac_store=0.18, frac_fp=0.0,
+       footprint_kib=4096, frac_stream=0.20, frac_random=0.55, frac_chase=0.25,
+       chase_region_kib=4096, br_random_frac=0.12, block_len_mean=7,
+       load_consumer_frac=0.40, rand_locality=0.80),
+    _p("gobmk", 105, frac_mem=0.33, frac_store=0.30, frac_fp=0.0,
+       footprint_kib=256, frac_stream=0.45, frac_random=0.45, frac_chase=0.10,
+       br_random_frac=0.28, br_pattern_frac=0.25, block_len_mean=6),
+    _p("hmmer", 106, frac_mem=0.28, frac_store=0.22, frac_fp=0.0,
+       footprint_kib=64, frac_stream=0.80, frac_random=0.20, frac_chase=0.0,
+       br_random_frac=0.04, br_bias=0.95, block_len_mean=12,
+       serial_frac=0.25, load_consumer_frac=0.35),
+    _p("sjeng", 107, frac_mem=0.30, frac_store=0.25, frac_fp=0.0,
+       footprint_kib=512, frac_stream=0.40, frac_random=0.50, frac_chase=0.10,
+       br_random_frac=0.25, br_pattern_frac=0.25, block_len_mean=6),
+    _p("libquantum", 108, frac_mem=0.36, frac_store=0.25, frac_fp=0.0,
+       footprint_kib=8192, frac_stream=0.90, frac_random=0.10, frac_chase=0.0,
+       br_random_frac=0.02, br_bias=0.97, block_len_mean=10,
+       load_consumer_frac=0.60),
+    _p("h264ref", 109, frac_mem=0.45, frac_store=0.42, frac_fp=0.0,
+       footprint_kib=192, frac_stream=0.55, frac_random=0.40, frac_chase=0.05,
+       alias_frac=0.30, alias_distance=9, br_random_frac=0.10,
+       br_pattern_frac=0.30, block_len_mean=12, serial_frac=0.45),
+    _p("omnetpp", 110, frac_mem=0.40, frac_store=0.30, frac_fp=0.0,
+       footprint_kib=2048, frac_stream=0.20, frac_random=0.50, frac_chase=0.30,
+       chase_region_kib=2048, br_random_frac=0.15, block_len_mean=7),
+    _p("astar", 111, frac_mem=0.38, frac_store=0.22, frac_fp=0.0,
+       footprint_kib=1024, frac_stream=0.30, frac_random=0.45, frac_chase=0.25,
+       chase_region_kib=1024, br_random_frac=0.20, block_len_mean=7),
+    _p("xalancbmk", 112, frac_mem=0.41, frac_store=0.30, frac_fp=0.0,
+       footprint_kib=2048, frac_stream=0.25, frac_random=0.50, frac_chase=0.25,
+       chase_region_kib=1536, br_random_frac=0.16, br_pattern_frac=0.30,
+       n_blocks=48, block_len_mean=6),
+]
+
+#: The 13 SPECfp-like profiles.
+SPEC_FP: List[WorkloadProfile] = [
+    _p("bwaves", 201, frac_mem=0.40, frac_store=0.25, frac_fp=0.75,
+       footprint_kib=4096, frac_stream=0.80, frac_random=0.20, frac_chase=0.0,
+       br_random_frac=0.02, br_bias=0.97, block_len_mean=14,
+       load_consumer_frac=0.60, serial_frac=0.40),
+    _p("gamess", 202, frac_mem=0.28, frac_store=0.22, frac_fp=0.70,
+       footprint_kib=128, frac_stream=0.70, frac_random=0.30, frac_chase=0.0,
+       br_random_frac=0.05, block_len_mean=12, serial_frac=0.30),
+    _p("milc", 203, frac_mem=0.42, frac_store=0.28, frac_fp=0.70,
+       footprint_kib=4096, frac_stream=0.65, frac_random=0.35, frac_chase=0.0,
+       br_random_frac=0.03, block_len_mean=12, load_consumer_frac=0.60),
+    _p("zeusmp", 204, frac_mem=0.38, frac_store=0.26, frac_fp=0.72,
+       footprint_kib=2048, frac_stream=0.70, frac_random=0.30, frac_chase=0.0,
+       br_random_frac=0.03, block_len_mean=13),
+    _p("gromacs", 205, frac_mem=0.32, frac_store=0.24, frac_fp=0.65,
+       footprint_kib=512, frac_stream=0.60, frac_random=0.40, frac_chase=0.0,
+       br_random_frac=0.06, block_len_mean=11),
+    _p("cactusADM", 206, frac_mem=0.40, frac_store=0.20, frac_fp=0.80,
+       footprint_kib=4096, frac_stream=0.55, frac_random=0.45, frac_chase=0.0,
+       br_random_frac=0.01, br_bias=0.98, block_len_mean=16,
+       serial_frac=0.50, load_consumer_frac=0.60, n_mem_streams=8,
+       rand_locality=0.75),
+    _p("leslie3d", 207, frac_mem=0.40, frac_store=0.26, frac_fp=0.72,
+       footprint_kib=2048, frac_stream=0.70, frac_random=0.30, frac_chase=0.0,
+       br_random_frac=0.02, block_len_mean=13, load_consumer_frac=0.55),
+    _p("namd", 208, frac_mem=0.30, frac_store=0.20, frac_fp=0.70,
+       footprint_kib=256, frac_stream=0.65, frac_random=0.35, frac_chase=0.0,
+       br_random_frac=0.04, block_len_mean=12),
+    _p("dealII", 209, frac_mem=0.36, frac_store=0.28, frac_fp=0.55,
+       footprint_kib=1024, frac_stream=0.45, frac_random=0.45, frac_chase=0.10,
+       br_random_frac=0.10, block_len_mean=9),
+    _p("soplex", 210, frac_mem=0.40, frac_store=0.25, frac_fp=0.50,
+       footprint_kib=2048, frac_stream=0.40, frac_random=0.50, frac_chase=0.10,
+       br_random_frac=0.12, block_len_mean=8),
+    _p("povray", 211, frac_mem=0.33, frac_store=0.27, frac_fp=0.55,
+       footprint_kib=128, frac_stream=0.50, frac_random=0.45, frac_chase=0.05,
+       br_random_frac=0.14, br_pattern_frac=0.30, block_len_mean=8),
+    _p("calculix", 212, frac_mem=0.35, frac_store=0.25, frac_fp=0.65,
+       footprint_kib=1024, frac_stream=0.60, frac_random=0.40, frac_chase=0.0,
+       br_random_frac=0.05, block_len_mean=11),
+    _p("GemsFDTD", 213, frac_mem=0.42, frac_store=0.28, frac_fp=0.75,
+       footprint_kib=4096, frac_stream=0.75, frac_random=0.25, frac_chase=0.0,
+       br_random_frac=0.02, block_len_mean=14, load_consumer_frac=0.60),
+]
+
+#: Every application, SPECint first, keyed by name.
+SUITE: Dict[str, WorkloadProfile] = {
+    p.name: p for p in (*SPEC_INT, *SPEC_FP)
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a suite profile by application name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(SUITE)}") from None
+
+
+def suite_profiles(subset: str = "all") -> List[WorkloadProfile]:
+    """Profiles for ``"int"``, ``"fp"`` or ``"all"`` applications."""
+    if subset == "int":
+        return list(SPEC_INT)
+    if subset == "fp":
+        return list(SPEC_FP)
+    if subset == "all":
+        return [*SPEC_INT, *SPEC_FP]
+    raise ValueError(f"subset must be int/fp/all, got {subset!r}")

@@ -1,0 +1,89 @@
+"""Deep-dive tests on the wider cascaded CASINO designs (Section VI-F)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import RENAME_CONVENTIONAL, make_casino_config
+from repro.cores import build_core
+from repro.workloads import get_profile
+from repro.workloads.generator import SyntheticWorkload
+from tests.util import alu, div, independent_ops, run_trace, with_pcs
+
+
+class TestCascadeStructure:
+    def test_queue_sizes_3way(self):
+        core = build_core(make_casino_config(3))
+        core.reset(with_pcs(independent_ops(4)))
+        assert core.queue_sizes == [4, 8, 24]  # S-IQ, intermediate, IQ
+
+    def test_queue_sizes_4way(self):
+        core = build_core(make_casino_config(4))
+        core.reset(with_pcs(independent_ops(4)))
+        assert core.queue_sizes == [4, 8, 8, 48]
+
+    def test_wider_uses_conventional_renaming(self):
+        cfg = make_casino_config(4)
+        assert cfg.rename_scheme == RENAME_CONVENTIONAL
+        core = build_core(cfg)
+        core.reset(with_pcs(independent_ops(4)))
+        assert not core._use_dbuf  # no data buffer with own registers
+
+
+class TestCascadeBehaviour:
+    def test_instructions_flow_through_intermediate_queue(self):
+        """Non-ready work passes S-IQ -> intermediate -> IQ; everything
+        still commits in order."""
+        trace = [div(1)] + [alu(2, (1,)), alu(3, (2,)), alu(4, (3,)),
+                            alu(5, (4,))] + independent_ops(20, start_reg=6)
+        stats, core = run_trace(make_casino_config(3), trace)
+        assert stats.committed == len(trace)
+        assert stats.get("siq_passes") >= 4  # chain moved down the cascade
+
+    def test_intermediate_queue_issues_speculatively(self):
+        """A consumer that becomes ready while waiting in an intermediate
+        S-IQ issues from there (Section VI-F: 'ready instructions can be
+        issued at the head of any IQ')."""
+        trace = [div(1)] + [alu(2, (1,))] + independent_ops(30, start_reg=3)
+        stats, _ = run_trace(make_casino_config(3), trace)
+        assert stats.get("issued_spec") > 0
+        assert stats.committed == len(trace)
+
+    def test_width_scaling_on_parallel_work(self):
+        trace = SyntheticWorkload(get_profile("gamess")).generate(6000)
+        ipcs = {}
+        for width in (2, 3, 4):
+            core = build_core(make_casino_config(width))
+            ipcs[width] = core.run(list(trace), warmup=1500).ipc
+        assert ipcs[3] >= ipcs[2] * 0.98
+        assert ipcs[4] >= ipcs[3] * 0.98
+
+    def test_4way_violation_recovery(self):
+        from tests.util import load, store
+        trace = ([div(1), store(1, 14, 0xC000), load(2, 15, 0xC000)]
+                 + independent_ops(20, start_reg=3))
+        stats, core = run_trace(make_casino_config(4), trace)
+        assert stats.committed == len(trace)
+        assert core.pipeline_empty()
+
+    def test_cascade_preserves_spec_fraction_reporting(self):
+        trace = SyntheticWorkload(get_profile("hmmer")).generate(4000)
+        stats = build_core(make_casino_config(4)).run(trace)
+        assert (stats.get("issued_spec") + stats.get("issued_iq")
+                == stats.get("issued"))
+
+
+class TestCascadeResources:
+    def test_prf_scales(self):
+        cfg = make_casino_config(4)
+        core = build_core(cfg)
+        core.reset(with_pcs(independent_ops(4)))
+        from repro.common.params import NUM_INT_ARCH
+        assert core.renamer.free_int == cfg.prf_int - NUM_INT_ARCH
+
+    def test_small_prf_4way_still_commits(self):
+        cfg = dataclasses.replace(make_casino_config(4),
+                                  prf_int=20, prf_fp=10)
+        trace = SyntheticWorkload(get_profile("povray")).generate(3000)
+        stats = build_core(cfg).run(trace)
+        assert stats.committed == 3000

@@ -1,0 +1,246 @@
+"""CASINO core behaviour: cascaded windows, speculative issue, conditional
+renaming, data buffer, on-commit value-check and OSCA."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import (
+    DISAMBIG_AGI_ORDERING,
+    DISAMBIG_FULLY_OOO,
+    DISAMBIG_NOLQ,
+    DISAMBIG_NOLQ_OSCA,
+    RENAME_CONVENTIONAL,
+    make_casino_config,
+    make_ino_config,
+)
+from tests.util import alu, div, independent_ops, load, run_trace, store
+
+
+def casino(**overrides):
+    return dataclasses.replace(make_casino_config(), **overrides)
+
+
+class TestCascadedScheduling:
+    def test_commits_everything(self):
+        stats, _ = run_trace(make_casino_config(), independent_ops(60))
+        assert stats.committed == 60
+
+    def test_speculative_issue_behind_stall(self):
+        """Independent work behind a stalled consumer issues from the
+        S-IQ — the paper's core claim."""
+        trace = [div(1), alu(2, (1,))] + independent_ops(20, start_reg=3)
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.get("issued_spec") > 0
+        assert stats.get("siq_passes") >= 1  # div's consumer goes to the IQ
+
+    def test_beats_ino_on_divider_pairs(self):
+        trace = []
+        for i in range(4):
+            trace.extend([div(1 + i), alu(10 + i, (1 + i,))])
+        s_cas, _ = run_trace(make_casino_config(), list(trace))
+        s_ino, _ = run_trace(make_ino_config(), list(trace))
+        assert s_cas.cycles < s_ino.cycles - 10
+
+    def test_dependence_chains_issue_from_iq(self):
+        """A pure serial chain cannot be speculated: it flows through the
+        IQ in program order."""
+        trace = [div(1)] + [alu(1, (1,)) for _ in range(10)]
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.get("issued_iq") >= 10
+
+    def test_issue_breakdown_counters_sum(self):
+        trace = [div(1), alu(2, (1,))] + independent_ops(20, start_reg=3)
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert (stats.get("issued_spec") + stats.get("issued_iq")
+                == stats.get("issued"))
+        assert (stats.get("committed_s_issue")
+                + stats.get("committed_iq_issue") == stats.committed)
+
+    def test_ready_head_waits_for_resources(self):
+        """A ready instruction short a resource waits at the S-IQ head
+        (footnote 1) rather than passing: nothing younger may overtake
+        it into the ROB."""
+        # Saturate the FP units: two long FP dividers, then an FP op that
+        # is ready but has no FPU this cycle.
+        from repro.isa.instruction import DynInst
+        from repro.isa.opcodes import OpClass
+        trace = [DynInst(pc=0, op=OpClass.FP_DIV, srcs=(), dst=16 + i)
+                 for i in range(6)]
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.committed == 6
+
+
+class TestConditionalRenaming:
+    def test_fewer_allocations_than_conventional(self):
+        trace = [div(1)] + [alu(2, (1,)), alu(3, (2,)), alu(4, (3,))] \
+            + independent_ops(20, start_reg=5)
+        cond, _ = run_trace(make_casino_config(), list(trace))
+        conv, _ = run_trace(casino(rename_scheme=RENAME_CONVENTIONAL),
+                            list(trace))
+        assert cond.get("reg_allocs") < conv.get("reg_allocs")
+        assert cond.committed == conv.committed == len(trace)
+
+    def test_passed_instructions_do_not_allocate(self):
+        # Three consumers of the div all pass to the IQ (within the 2-bit
+        # ProducerCount bound) while the div is pending: only the div
+        # itself allocates a register.
+        trace = [div(1)] + [alu(2, (1,)) for _ in range(3)]
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.get("reg_allocs") == 1
+        assert stats.get("producer_count_incs") == 3
+
+    def test_producer_count_limit_stalls_passing(self):
+        """A fourth pending IQ writer of one register exceeds the 2-bit
+        ProducerCount and must wait (Section III-C3)."""
+        trace = [div(1)] + [alu(2, (1,)) for _ in range(6)] + [alu(3, (2,))]
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.get("pass_stall_rename") > 0
+        assert stats.committed == 8
+
+    def test_prf_exhaustion_blocks_spec_issue(self):
+        cfg = casino(prf_int=17)  # one spare integer register
+        trace = independent_ops(12, start_reg=1)
+        stats, _ = run_trace(cfg, trace)
+        assert stats.committed == 12
+        assert stats.get("issue_stall_prf") > 0
+
+    def test_free_registers_balance_after_run(self):
+        from repro.common.params import NUM_INT_ARCH
+        cfg = make_casino_config()
+        stats, core = run_trace(cfg, independent_ops(40))
+        # All committed: spare registers minus live final mappings.
+        assert 0 <= core.renamer.free_int <= cfg.prf_int - NUM_INT_ARCH
+
+
+class TestDataBuffer:
+    def test_dbuf_stall_counted_when_tiny(self):
+        cfg = casino(data_buffer_size=1)
+        # Long IQ-resident chain: every IQ issue needs the single entry.
+        trace = [div(1)] + [alu(2, (1,)), alu(3, (2,)), alu(4, (3,)),
+                            alu(5, (4,)), alu(6, (5,))] + [div(7)] \
+            + [alu(8, (7,)), alu(9, (8,))]
+        stats, _ = run_trace(cfg, trace)
+        assert stats.committed == len(trace)
+
+    def test_conventional_renaming_needs_no_dbuf(self):
+        cfg = casino(rename_scheme=RENAME_CONVENTIONAL, data_buffer_size=0)
+        stats, _ = run_trace(cfg, [div(1)] + [alu(2, (1,)) for _ in range(3)])
+        assert stats.committed == 4
+        assert stats.get("dbuf_access") == 0
+
+
+class TestMemoryDisambiguation:
+    def _violation_trace(self):
+        return [div(1), store(1, 14, 0xC000), load(2, 15, 0xC000),
+                alu(3, (2,))] + independent_ops(8, start_reg=4)
+
+    def test_on_commit_value_check_catches_violation(self):
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ),
+                             self._violation_trace())
+        assert stats.get("mem_order_violations") >= 1
+        assert stats.get("squashes") >= 1
+        assert stats.committed == 12
+
+    def test_disjoint_addresses_no_violation(self):
+        trace = [div(1), store(1, 14, 0xC000), load(2, 15, 0xD000)]
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ), trace)
+        assert stats.get("mem_order_violations") == 0
+
+    def test_agi_ordering_never_violates(self):
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_AGI_ORDERING),
+                             self._violation_trace())
+        assert stats.get("mem_order_violations") == 0
+        assert stats.get("sentinels_set") == 0
+        assert stats.committed == 12
+
+    def test_agi_ordering_is_slower(self):
+        trace = [div(1), store(1, 14, 0xC000),
+                 load(2, 15, 0xE000), alu(3, (2,))] \
+            + independent_ops(8, start_reg=4)
+        fast, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ_OSCA),
+                            list(trace))
+        slow, _ = run_trace(casino(disambiguation=DISAMBIG_AGI_ORDERING),
+                            list(trace))
+        assert slow.cycles >= fast.cycles
+
+    def test_osca_skips_search_when_no_outstanding_store(self):
+        trace = [load(1, 15, 0x8000), load(2, 15, 0x8040)]
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ_OSCA), trace)
+        assert stats.get("osca_search_skips") == 2
+        assert stats.get("sq_searches") == 0
+
+    def test_osca_forces_search_on_matching_store(self):
+        trace = [store(15, 14, 0x8000), load(1, 15, 0x8000)]
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ_OSCA), trace)
+        assert stats.get("sq_searches") >= 1
+        assert stats.get("stl_forwards") == 1
+
+    def test_osca_reduces_searches_vs_nolq(self):
+        trace = ([store(15, 14, 0xC000)]
+                 + [load(1 + i % 4, 15, 0x9000 + 64 * i) for i in range(12)])
+        nolq, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ), list(trace))
+        osca, _ = run_trace(casino(disambiguation=DISAMBIG_NOLQ_OSCA),
+                            list(trace))
+        assert osca.get("sq_searches") < nolq.get("sq_searches")
+
+    def test_fully_ooo_mode_uses_lq(self):
+        stats, _ = run_trace(casino(disambiguation=DISAMBIG_FULLY_OOO),
+                             self._violation_trace())
+        assert stats.get("lq_writes") >= 1
+        assert stats.committed == 12
+
+    def test_store_forwarding(self):
+        trace = [store(15, 14, 0xA000), load(1, 15, 0xA000)]
+        stats, _ = run_trace(make_casino_config(), trace)
+        assert stats.get("stl_forwards") == 1
+
+    def test_sq_capacity_blocks_siq_exit(self):
+        cfg = casino(sq_sb_size=2)
+        trace = [store(15, 14, 0xB000 + 4096 * i) for i in range(10)]
+        stats, _ = run_trace(cfg, trace)
+        assert stats.committed == 10
+
+
+class TestWiderCascades:
+    def test_3way_runs_and_helps(self):
+        trace = independent_ops(60)
+        s2, _ = run_trace(make_casino_config(2), list(trace))
+        s3, _ = run_trace(make_casino_config(3), list(trace))
+        assert s3.committed == 60
+        assert s3.cycles <= s2.cycles
+
+    def test_4way_has_two_intermediate_siqs(self):
+        from repro.cores import build_core
+        core = build_core(make_casino_config(4))
+        core.reset(independent_ops(4))
+        assert len(core.queues) == 4  # S-IQ + 2 intermediates + IQ
+
+    def test_4way_commits_with_dividers(self):
+        trace = []
+        for i in range(8):
+            trace.extend([div(1 + i % 8), alu(9, (1 + i % 8,))])
+        stats, _ = run_trace(make_casino_config(4), trace)
+        assert stats.committed == 16
+
+
+class TestRecovery:
+    def test_squash_and_reexecute_preserves_count(self):
+        trace = ([div(1), store(1, 14, 0xC000), load(2, 15, 0xC000)]
+                 + independent_ops(20, start_reg=3)
+                 + [store(15, 13, 0xC040), load(4, 15, 0xC040)])
+        stats, core = run_trace(casino(disambiguation=DISAMBIG_NOLQ), trace)
+        assert stats.committed == len(trace)
+        assert core.lsu.empty
+        assert not core.lsu.sentinels
+
+    def test_osca_drains_to_zero(self):
+        trace = [div(1), store(1, 14, 0xC000), load(2, 15, 0xC000)] \
+            + [store(15, 14, 0xD000 + 64 * i) for i in range(6)]
+        stats, core = run_trace(make_casino_config(), trace)
+        assert core.lsu.osca.total == 0
+
+    def test_renamer_pending_empty_after_drain(self):
+        trace = [div(1)] + [alu(2, (1,)) for _ in range(5)]
+        stats, core = run_trace(make_casino_config(), trace)
+        assert not core.renamer.pending

@@ -1,0 +1,232 @@
+"""Unit tests for the OSCA filter and the CASINO LSU."""
+
+import pytest
+
+from repro.common.params import (
+    DISAMBIG_NOLQ,
+    DISAMBIG_NOLQ_OSCA,
+    make_casino_config,
+)
+from repro.common.stats import Stats
+from repro.cores.casino.lsu import CasinoLsu
+from repro.cores.casino.osca import Osca
+from repro.engine.core_base import InflightInst
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+class TestOsca:
+    def test_inc_dec_roundtrip(self):
+        osca = Osca()
+        osca.inc(0x100, 8)
+        assert osca.outstanding(0x100, 8) == 1
+        osca.dec(0x100, 8)
+        assert osca.outstanding(0x100, 8) == 0
+        assert osca.total == 0
+
+    def test_eight_byte_access_touches_two_granules(self):
+        osca = Osca(granule=4)
+        osca.inc(0x100, 8)
+        assert osca.outstanding(0x100, 4) == 1
+        assert osca.outstanding(0x104, 4) == 1
+
+    def test_unaligned_access_covers_range(self):
+        osca = Osca(granule=4)
+        osca.inc(0x102, 4)  # spans granules 0x100 and 0x104
+        assert osca.outstanding(0x100, 4) == 1
+        assert osca.outstanding(0x104, 4) == 1
+
+    def test_aliasing_false_positive(self):
+        """Two addresses 64 granules apart share a counter: the filter may
+        only err toward searching, never toward skipping."""
+        osca = Osca(entries=64, granule=4)
+        osca.inc(0x0, 4)
+        assert osca.outstanding(64 * 4, 4) == 1  # alias: search anyway
+
+    def test_underflow_asserts(self):
+        osca = Osca()
+        with pytest.raises(AssertionError):
+            osca.dec(0x100, 4)
+
+    def test_saturation_guard(self):
+        osca = Osca(entries=4, granule=4, max_outstanding=2)
+        for _ in range(4):
+            osca.inc(0x0, 4)
+        with pytest.raises(AssertionError):
+            osca.inc(0x0, 4)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Osca(entries=0)
+
+
+def _store(seq, addr, resolved=True):
+    e = InflightInst(DynInst(pc=0x100 + seq, op=OpClass.STORE, srcs=(1, 2),
+                             mem_addr=addr, mem_size=8, seq=seq), [])
+    if resolved:
+        e.issue_at = 0
+    return e
+
+
+def _load(seq, addr):
+    return InflightInst(DynInst(pc=0x200 + seq, op=OpClass.LOAD, srcs=(1,),
+                                dst=3, mem_addr=addr, mem_size=8, seq=seq), [])
+
+
+class _FakeHier:
+    class _L1:
+        class cfg:
+            latency = 4
+    l1d = _L1()
+
+    def __init__(self):
+        self.pins = {}
+
+    def store(self, addr, cycle):
+        return 4
+
+    def add_line_sentinel(self, addr):
+        self.pins[addr >> 6] = self.pins.get(addr >> 6, 0) + 1
+
+    def remove_line_sentinel(self, addr):
+        line = addr >> 6
+        if self.pins.get(line, 0) <= 1:
+            self.pins.pop(line, None)
+        else:
+            self.pins[line] -= 1
+
+
+def make_lsu(mode=DISAMBIG_NOLQ_OSCA):
+    import dataclasses
+    cfg = dataclasses.replace(make_casino_config(), disambiguation=mode)
+    return CasinoLsu(cfg, _FakeHier(), Stats())
+
+
+class TestCasinoLsuForwarding:
+    def test_youngest_matching_store_forwards(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s1, s2 = _store(0, 0x100), _store(1, 0x100)
+        lsu.dispatch_store(s1)
+        lsu.dispatch_store(s2)
+        forward = lsu.load_issued(_load(2, 0x100), cycle=5, from_iq=False)
+        assert forward is s2
+
+    def test_unresolved_store_does_not_forward(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        ld = _load(1, 0x100)
+        assert lsu.load_issued(ld, cycle=5, from_iq=False) is None
+        assert ld.unresolved_older == [s]
+
+    def test_younger_store_never_forwards(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(5, 0x100)
+        lsu.dispatch_store(s)
+        assert lsu.load_issued(_load(2, 0x100), cycle=5, from_iq=False) is None
+
+
+class TestSentinels:
+    def test_sentinel_on_oldest_unresolved(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s1 = _store(0, 0x100, resolved=False)
+        s2 = _store(1, 0x200, resolved=False)
+        lsu.dispatch_store(s1)
+        lsu.dispatch_store(s2)
+        ld = _load(2, 0x300)
+        lsu.load_issued(ld, cycle=5, from_iq=False)
+        assert ld.sentinel_on is s1
+        assert lsu.sentinels[s1] == 2
+
+    def test_younger_load_replaces_sentinel_owner(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        lsu.load_issued(_load(1, 0x300), cycle=5, from_iq=False)
+        lsu.load_issued(_load(2, 0x400), cycle=6, from_iq=False)
+        assert lsu.sentinels[s] == 2
+
+    def test_commit_clears_own_sentinel_only(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        ld1, ld2 = _load(1, 0x300), _load(2, 0x400)
+        lsu.load_issued(ld1, cycle=5, from_iq=False)
+        lsu.load_issued(ld2, cycle=6, from_iq=False)
+        s.issue_at = 7  # resolve before the loads commit
+        assert not lsu.commit_load(ld1, cycle=10)
+        assert lsu.sentinels[s] == 2  # ld2 still owns it
+        assert not lsu.commit_load(ld2, cycle=11)
+        assert s not in lsu.sentinels
+
+    def test_sentinel_blocks_retirement(self):
+        from repro.engine.funits import FuPool
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        lsu.load_issued(_load(1, 0x300), cycle=5, from_iq=False)
+        s.issue_at = 6
+        lsu.commit_store(s, cycle=7)
+        fu = FuPool(make_casino_config())
+        lsu.retire_head(cycle=20, fu=fu)
+        assert lsu.sq  # still blocked by the sentinel
+        assert lsu.stats.get("sb_sentinel_blocks") >= 1
+
+
+class TestValueCheck:
+    def test_violation_on_overlap(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        ld = _load(1, 0x100)
+        lsu.load_issued(ld, cycle=5, from_iq=False)
+        s.issue_at = 6
+        s.inst.mem_addr = 0x100  # resolves to the load's address
+        assert lsu.commit_load(ld, cycle=10)
+        assert lsu.stats.get("mem_order_violations") == 1
+
+    def test_no_violation_when_disjoint(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x800, resolved=False)
+        lsu.dispatch_store(s)
+        ld = _load(1, 0x100)
+        lsu.load_issued(ld, cycle=5, from_iq=False)
+        s.issue_at = 6
+        assert not lsu.commit_load(ld, cycle=10)
+
+    def test_loads_from_iq_never_speculative(self):
+        lsu = make_lsu(DISAMBIG_NOLQ)
+        s = _store(0, 0x100, resolved=False)
+        lsu.dispatch_store(s)
+        ld = _load(1, 0x100)
+        lsu.load_issued(ld, cycle=5, from_iq=True)
+        assert not ld.unresolved_older
+        assert ld.sentinel_on is None
+
+
+class TestOscaFiltering:
+    def test_zero_counter_skips_search(self):
+        lsu = make_lsu()
+        ld = _load(1, 0x500)
+        lsu.load_issued(ld, cycle=5, from_iq=False)
+        assert ld.osca_skipped
+        assert lsu.stats.get("sq_searches") == 0
+
+    def test_matching_outstanding_store_forces_search(self):
+        lsu = make_lsu()
+        s = _store(0, 0x500)
+        lsu.dispatch_store(s)
+        lsu.store_issued(s, cycle=1)
+        ld = _load(1, 0x500)
+        forward = lsu.load_issued(ld, cycle=5, from_iq=False)
+        assert forward is s
+        assert lsu.stats.get("sq_searches") == 1
+
+    def test_squash_unwinds_osca(self):
+        lsu = make_lsu()
+        s = _store(3, 0x500)
+        lsu.dispatch_store(s)
+        lsu.store_issued(s, cycle=1)
+        lsu.squash(2)
+        assert lsu.osca.total == 0
+        assert not lsu.sq

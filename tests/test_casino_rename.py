@@ -1,0 +1,164 @@
+"""Unit tests for the conditional renamer (RAT, free lists, ProducerCount,
+recovery log)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import (
+    NUM_FP_ARCH,
+    NUM_INT_ARCH,
+    RENAME_CONVENTIONAL,
+    make_casino_config,
+)
+from repro.common.stats import Stats
+from repro.cores.casino.rename import ConditionalRenamer
+from repro.engine.core_base import InflightInst
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def entry(dst=None, srcs=(), seq=0):
+    return InflightInst(DynInst(pc=0x1000, op=OpClass.INT_ALU,
+                                srcs=srcs, dst=dst, seq=seq), [])
+
+
+def make_renamer(**overrides):
+    cfg = dataclasses.replace(make_casino_config(), **overrides)
+    return ConditionalRenamer(cfg, Stats()), cfg
+
+
+class TestAllocation:
+    def test_initial_free_counts(self):
+        renamer, cfg = make_renamer()
+        assert renamer.free_int == cfg.prf_int - NUM_INT_ARCH
+        assert renamer.free_fp == cfg.prf_fp - NUM_FP_ARCH
+
+    def test_speculative_alloc_consumes_register(self):
+        renamer, _ = make_renamer()
+        before = renamer.free_int
+        e = entry(dst=1)
+        renamer.rename_speculative(e)
+        assert renamer.free_int == before - 1
+        assert e.fresh_phys
+        assert renamer.rat[1] == e.phys
+
+    def test_fp_class_separate(self):
+        renamer, _ = make_renamer()
+        e = entry(dst=NUM_INT_ARCH + 1)
+        before_int, before_fp = renamer.free_int, renamer.free_fp
+        renamer.rename_speculative(e)
+        assert renamer.free_int == before_int
+        assert renamer.free_fp == before_fp - 1
+
+    def test_can_alloc_exhaustion(self):
+        renamer, cfg = make_renamer(prf_int=NUM_INT_ARCH + 1)
+        assert renamer.can_alloc(1)
+        renamer.rename_speculative(entry(dst=1))
+        assert not renamer.can_alloc(2)
+        assert renamer.can_alloc(None)  # no destination: always fine
+
+    def test_commit_releases_previous_mapping(self):
+        renamer, _ = make_renamer()
+        e1, e2 = entry(dst=1, seq=0), entry(dst=1, seq=1)
+        renamer.rename_speculative(e1)
+        renamer.rename_speculative(e2)
+        free = renamer.free_int
+        renamer.commit(e1)
+        renamer.commit(e2)
+        assert renamer.free_int == free + 2
+
+
+class TestPassing:
+    def test_pass_does_not_allocate(self):
+        renamer, _ = make_renamer()
+        before = renamer.free_int
+        e = entry(dst=1)
+        renamer.rename_passed(e)
+        assert renamer.free_int == before
+        assert not e.fresh_phys
+        assert renamer.pending[e.phys] == 1
+
+    def test_producer_count_bound(self):
+        renamer, cfg = make_renamer()
+        for i in range(cfg.producer_count_max):
+            assert renamer.can_pass(1)
+            renamer.rename_passed(entry(dst=1, seq=i))
+        assert not renamer.can_pass(1)
+
+    def test_iq_issue_decrements(self):
+        renamer, _ = make_renamer()
+        e = entry(dst=1)
+        renamer.rename_passed(e)
+        renamer.on_iq_issue(e)
+        assert not renamer.pending
+        assert renamer.can_pass(1)
+
+    def test_new_alloc_resets_sharing_chain(self):
+        """A speculative redefinition maps the register to a fresh name;
+        passing resumes on the new mapping."""
+        renamer, cfg = make_renamer()
+        for i in range(cfg.producer_count_max):
+            renamer.rename_passed(entry(dst=1, seq=i))
+        assert not renamer.can_pass(1)
+        renamer.rename_speculative(entry(dst=1, seq=10))
+        assert renamer.can_pass(1)  # new physical register, count 0
+
+    def test_conventional_pass_allocates(self):
+        renamer, _ = make_renamer(rename_scheme=RENAME_CONVENTIONAL)
+        before = renamer.free_int
+        e = entry(dst=1)
+        renamer.rename_passed(e)
+        assert renamer.free_int == before - 1
+        assert e.fresh_phys
+
+
+class TestRecovery:
+    def test_squash_restores_rat_and_free_list(self):
+        renamer, _ = make_renamer()
+        home = renamer.rat[1]
+        free = renamer.free_int
+        e1, e2 = entry(dst=1, seq=0), entry(dst=1, seq=1)
+        renamer.rename_speculative(e1)
+        renamer.rename_speculative(e2)
+        renamer.squash([e2, e1])  # young -> old
+        assert renamer.rat[1] == home
+        assert renamer.free_int == free
+
+    def test_squash_unwinds_producer_count(self):
+        renamer, _ = make_renamer()
+        e = entry(dst=1)
+        renamer.rename_passed(e)
+        renamer.squash([e])
+        assert not renamer.pending
+
+    def test_squash_skips_issued_iq_instructions(self):
+        """An IQ instruction that already issued decremented its count at
+        issue; squash must not decrement twice."""
+        renamer, _ = make_renamer()
+        e1, e2 = entry(dst=1, seq=0), entry(dst=1, seq=1)
+        renamer.rename_passed(e1)
+        renamer.rename_passed(e2)
+        e1.issue_at = 7
+        renamer.on_iq_issue(e1)
+        renamer.squash([e2])
+        assert renamer.pending.get(e1.phys, 0) == 0
+
+    def test_partial_squash_keeps_older_mapping(self):
+        renamer, _ = make_renamer()
+        e1, e2 = entry(dst=1, seq=0), entry(dst=1, seq=1)
+        renamer.rename_speculative(e1)
+        renamer.rename_speculative(e2)
+        renamer.squash([e2])
+        assert renamer.rat[1] == e1.phys
+
+
+class TestValidation:
+    def test_prf_smaller_than_arch_rejected(self):
+        with pytest.raises(ValueError):
+            make_renamer(prf_int=NUM_INT_ARCH - 1)
+
+    def test_alloc_without_check_asserts(self):
+        renamer, _ = make_renamer(prf_int=NUM_INT_ARCH)
+        with pytest.raises(AssertionError):
+            renamer.rename_speculative(entry(dst=1))

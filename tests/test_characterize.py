@@ -1,0 +1,93 @@
+"""Trace characterisation, and suite-profile validation through it."""
+
+import pytest
+
+from repro.workloads import get_profile
+from repro.workloads.characterize import TraceProfile, characterize, compare
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.kernels import kernel_trace
+from tests.util import alu, load, store, with_pcs
+
+
+class TestBasicMeasures:
+    def test_empty_trace(self):
+        profile = characterize([])
+        assert profile.n_instrs == 0
+
+    def test_mix_counting(self):
+        trace = with_pcs([load(1, 15, 0x100), store(15, 14, 0x200),
+                          alu(2), alu(3)])
+        profile = characterize(trace)
+        assert profile.frac_loads == 0.25
+        assert profile.frac_stores == 0.25
+
+    def test_dependence_distance(self):
+        trace = with_pcs([alu(1), alu(2), alu(3, (1,))])
+        profile = characterize(trace)
+        assert profile.mean_dep_distance == 2.0
+
+    def test_stale_sources_counted(self):
+        # r9 never written: the source counts as ready-at-rename.
+        trace = with_pcs([alu(1, (9,)), alu(2, (1,))])
+        profile = characterize(trace, ready_horizon=8)
+        assert profile.frac_ready_at_rename == 0.5
+
+    def test_footprint_and_reuse(self):
+        trace = with_pcs([load(1, 15, 0x100), load(2, 15, 0x100),
+                          load(3, 15, 0x4100)])
+        profile = characterize(trace)
+        assert profile.unique_lines == 2
+        assert profile.line_reuse == pytest.approx(1.5)
+
+    def test_alias_distance(self):
+        trace = with_pcs([store(15, 14, 0x300), alu(1), alu(2),
+                          load(3, 15, 0x300)])
+        profile = characterize(trace)
+        assert profile.alias_pairs == 1
+        assert profile.mean_alias_distance == 3.0
+
+    def test_compare(self):
+        a = characterize(with_pcs([load(1, 15, 0x100), alu(2)]))
+        b = characterize(with_pcs([load(1, 15, 0x100), load(2, 15, 0x140),
+                                   alu(3), alu(4)]))
+        diff = compare(a, b)
+        assert "frac_loads" in diff
+
+
+class TestSuiteValidation:
+    """The synthetic suite must show the qualitative separations the paper
+    relies on — these are the workload-model regression tests."""
+
+    def _profile(self, name, n=8000):
+        return characterize(SyntheticWorkload(get_profile(name)).generate(n))
+
+    def test_mcf_has_larger_footprint_and_less_reuse_than_hmmer(self):
+        mcf, hmmer = self._profile("mcf"), self._profile("hmmer")
+        assert mcf.footprint_bytes > 1.5 * hmmer.footprint_bytes
+        assert mcf.line_reuse < hmmer.line_reuse
+
+    def test_h264ref_aliases_most(self):
+        h264 = self._profile("h264ref")
+        quiet = self._profile("libquantum")
+        assert h264.alias_pairs > 3 * max(1, quiet.alias_pairs)
+
+    def test_fp_apps_have_fp(self):
+        assert self._profile("bwaves").frac_fp > 0.2
+        assert self._profile("gcc").frac_fp == 0.0
+
+    def test_stale_operands_majority(self):
+        """CASINO's speculative issue depends on most operands being ready
+        at rename; every suite app must provide that."""
+        for app in ("hmmer", "mcf", "cactusADM", "gcc"):
+            assert self._profile(app).frac_ready_at_rename > 0.4, app
+
+    def test_code_recurrence(self):
+        profile = self._profile("perlbench")
+        assert profile.dynamic_per_static > 4  # predictors can learn
+
+    def test_kernel_characterisation(self):
+        profile = characterize(kernel_trace("pointer_chase",
+                                            nodes=64, hops=256))
+        # One serial load per loop iteration; lines are 4 KiB apart.
+        assert profile.frac_loads > 0.2
+        assert profile.line_reuse > 2  # the walk revisits each node line

@@ -1,0 +1,37 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "GemsFDTD" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--core", "ino", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "casino" in out and "speedup" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--app", "h264ref", "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "frac_loads" in out and "alias_pairs" in out
+
+    def test_bad_core_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--core", "pentium4"])
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,89 @@
+"""JSON config round-tripping."""
+
+import json
+
+import pytest
+
+from repro.common.config_io import (
+    ConfigError,
+    core_config_from_dict,
+    core_config_to_dict,
+    dump_core_config,
+    load_core_config,
+)
+from repro.common.params import make_casino_config
+
+
+class TestFromDict:
+    def test_base_only(self):
+        cfg = core_config_from_dict({"base": "casino"})
+        assert cfg == make_casino_config()
+
+    def test_overrides_applied(self):
+        cfg = core_config_from_dict({"base": "casino", "osca_entries": 128,
+                                     "siq_size": 8})
+        assert cfg.osca_entries == 128
+        assert cfg.siq_size == 8
+        assert cfg.iq_size == 12  # untouched
+
+    def test_width_scaling(self):
+        cfg = core_config_from_dict({"base": "ooo", "width": 4})
+        assert cfg.width == 4
+        assert cfg.rob_size == 128
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ConfigError, match="base"):
+            core_config_from_dict({"width": 2})
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ConfigError, match="unknown base"):
+            core_config_from_dict({"base": "itanium"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown CoreConfig fields"):
+            core_config_from_dict({"base": "ino", "turbo_boost": True})
+
+
+class TestRoundTrip:
+    def test_to_dict_minimal_for_default(self):
+        out = core_config_to_dict(make_casino_config())
+        assert out == {"base": "casino", "width": 2}
+
+    def test_round_trip_preserves_overrides(self):
+        import dataclasses
+        original = dataclasses.replace(make_casino_config(),
+                                       osca_entries=256, data_buffer_size=8)
+        data = core_config_to_dict(original)
+        rebuilt = core_config_from_dict(data)
+        assert rebuilt == original
+
+    def test_file_round_trip(self, tmp_path):
+        import dataclasses
+        path = tmp_path / "cfg.json"
+        original = dataclasses.replace(make_casino_config(), sq_sb_size=16)
+        dump_core_config(original, path)
+        assert load_core_config(path) == original
+        # File is valid, minimal JSON.
+        data = json.loads(path.read_text())
+        assert data["sq_sb_size"] == 16
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_core_config(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="JSON object"):
+            load_core_config(path)
+
+    def test_loaded_config_runs(self, tmp_path):
+        from repro.cores import build_core
+        from tests.util import independent_ops, with_pcs
+        path = tmp_path / "cfg.json"
+        path.write_text('{"base": "casino", "siq_size": 6, "iq_size": 10}')
+        cfg = load_core_config(path)
+        stats = build_core(cfg).run(with_pcs(independent_ops(30)))
+        assert stats.committed == 30

@@ -1,0 +1,101 @@
+"""Exhaustive mnemonic coverage for the assembler + emulator pair."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.emulator import Emulator
+from repro.common.params import NUM_INT_ARCH
+
+
+def run(src, memory=None):
+    emu = Emulator(assemble(src), memory=memory)
+    list(emu.run())
+    return emu
+
+
+F = NUM_INT_ARCH  # first fp register id
+
+
+class TestIntegerMnemonics:
+    def test_mv(self):
+        assert run("li r1, 7\nmv r2, r1\nhalt").regs[2] == 7
+
+    def test_andi_srli_slti(self):
+        emu = run("li r1, 0xFF\nandi r2, r1, 0x0F\nsrli r3, r1, 4\n"
+                  "slti r4, r1, 300\nhalt")
+        assert emu.regs[2] == 0x0F
+        assert emu.regs[3] == 0x0F
+        assert emu.regs[4] == 1
+
+    def test_subi(self):
+        assert run("li r1, 10\nsubi r2, r1, 3\nhalt").regs[2] == 7
+
+    def test_sll_with_register(self):
+        assert run("li r1, 3\nli r2, 2\nsll r3, r1, r2\nhalt").regs[3] == 12
+
+    def test_nop_advances(self):
+        emu = run("nop\nli r1, 1\nhalt")
+        assert emu.regs[1] == 1
+
+
+class TestFpMnemonics:
+    def test_fli_fmv(self):
+        emu = run("fli f0, 5\nfmv f1, f0\nhalt")
+        assert emu.regs[F + 1] == 5
+
+    def test_fsub_fmul_fdiv(self):
+        emu = run("fli f0, 20\nfli f1, 4\nfsub f2, f0, f1\n"
+                  "fmul f3, f0, f1\nfdiv f4, f0, f1\nhalt")
+        assert emu.regs[F + 2] == 16
+        assert emu.regs[F + 3] == 80
+        assert emu.regs[F + 4] == 5
+
+    def test_fdiv_by_zero_is_zero(self):
+        emu = run("fli f0, 20\nfli f1, 0\nfdiv f2, f0, f1\nhalt")
+        assert emu.regs[F + 2] == 0
+
+    def test_itof_ftoi_roundtrip(self):
+        emu = run("li r1, 42\nitof f0, r1\nftoi r2, f0\nhalt")
+        assert emu.regs[2] == 42
+
+    def test_fld_fst(self):
+        emu = run("li r1, 4096\nfli f0, 9\nfst f0, 0(r1)\n"
+                  "fld f1, 0(r1)\nhalt")
+        assert emu.regs[F + 1] == 9
+
+
+class TestBranchMnemonics:
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("beq", 5, 5, 1), ("beq", 5, 6, 0),
+        ("bne", 5, 6, 1), ("bne", 5, 5, 0),
+        ("blt", 4, 5, 1), ("blt", 5, 4, 0),
+        ("bge", 5, 5, 1), ("bge", 4, 5, 0),
+    ])
+    def test_branch_semantics(self, op, a, b, expect):
+        emu = run(f"""
+            li r1, {a}
+            li r2, {b}
+            li r3, 0
+            {op} r1, r2, taken
+            jmp end
+        taken:
+            li r3, 1
+        end:
+            halt
+        """)
+        assert emu.regs[3] == expect
+
+    def test_negative_comparison(self):
+        emu = run("""
+            li r1, 0
+            subi r1, r1, 5    ; r1 = -5
+            li r2, 0
+            li r3, 0
+            blt r1, r2, neg
+            jmp end
+        neg:
+            li r3, 1
+        end:
+            halt
+        """)
+        assert emu.regs[3] == 1

@@ -1,0 +1,162 @@
+"""Engine plumbing: FU pool, dataflow bookkeeping, run-loop guards."""
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config
+from repro.cores import build_core
+from repro.engine.core_base import CoreModel, InflightInst, SimulationError
+from repro.engine.funits import FuPool
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import FuType, OpClass
+from tests.util import alu, div, independent_ops, with_pcs
+
+
+class TestFuPool:
+    def test_capacity_per_type(self):
+        fu = FuPool(make_ino_config())
+        assert fu.take(OpClass.INT_ALU)
+        assert fu.take(OpClass.INT_ALU)
+        assert not fu.take(OpClass.INT_ALU)  # 2 ALUs
+        assert fu.take(OpClass.FP_ADD)       # FPUs independent
+
+    def test_agu_shared_by_loads_and_stores(self):
+        fu = FuPool(make_ino_config())
+        assert fu.take(OpClass.LOAD)
+        assert fu.take(OpClass.STORE)
+        assert not fu.take(OpClass.LOAD_FP)
+
+    def test_reset_restores(self):
+        fu = FuPool(make_ino_config())
+        fu.take(OpClass.INT_ALU)
+        fu.take(OpClass.INT_ALU)
+        fu.reset()
+        assert fu.take(OpClass.INT_ALU)
+
+    def test_store_port_single(self):
+        fu = FuPool(make_ino_config())
+        assert fu.take_store_port()
+        assert not fu.take_store_port()
+        fu.reset()
+        assert fu.take_store_port()
+
+    def test_available_does_not_consume(self):
+        fu = FuPool(make_ino_config())
+        assert fu.available(OpClass.INT_MUL)
+        assert fu.available(OpClass.INT_MUL)
+        fu.take(OpClass.INT_MUL)
+        fu.take(OpClass.INT_DIV)
+        assert not fu.available(OpClass.INT_ALU)
+
+
+class TestInflightInst:
+    def test_ready_with_no_producers(self):
+        e = InflightInst(DynInst(pc=0, op=OpClass.INT_ALU, srcs=(1,)), [])
+        assert e.ready(0)
+
+    def test_ready_tracks_producer_completion(self):
+        p = InflightInst(DynInst(pc=0, op=OpClass.INT_ALU, dst=1, seq=0), [])
+        c = InflightInst(DynInst(pc=4, op=OpClass.INT_ALU, srcs=(1,),
+                                 dst=2, seq=1), [p])
+        assert not c.ready(10)
+        p.done_at = 5
+        assert not c.ready(4)
+        assert c.ready(5)
+
+    def test_overlaps(self):
+        a = DynInst(pc=0, op=OpClass.STORE, srcs=(1, 2), mem_addr=0x100,
+                    mem_size=8)
+        b = DynInst(pc=4, op=OpClass.LOAD, srcs=(1,), dst=3, mem_addr=0x104,
+                    mem_size=8)
+        c = DynInst(pc=8, op=OpClass.LOAD, srcs=(1,), dst=3, mem_addr=0x108,
+                    mem_size=8)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlaps_requires_addresses(self):
+        a = DynInst(pc=0, op=OpClass.INT_ALU, dst=1)
+        b = DynInst(pc=4, op=OpClass.LOAD, srcs=(1,), dst=2, mem_addr=0x100)
+        assert not a.overlaps(b)
+
+
+class TestDataflowBookkeeping:
+    def test_make_entry_wires_last_writer(self):
+        core = build_core(make_ino_config())
+        core.reset(with_pcs([alu(1), alu(2, (1,))]))
+        e1 = core.make_entry(core.stream.fetch())
+        e2 = core.make_entry(core.stream.fetch())
+        assert e2.producers == [e1]
+
+    def test_committed_writers_pruned(self):
+        core = build_core(make_ino_config())
+        core.reset(with_pcs([alu(1), alu(2, (1,))]))
+        e1 = core.make_entry(core.stream.fetch())
+        e1.done_at = 0
+        core.note_commit(e1, 0)
+        e2 = core.make_entry(core.stream.fetch())
+        assert e2.producers == []  # committed producer never gates
+
+    def test_clean_last_writers_drops_squashed(self):
+        core = build_core(make_ino_config())
+        core.reset(with_pcs([alu(1), alu(2)]))
+        core.make_entry(core.stream.fetch())
+        core.make_entry(core.stream.fetch())
+        core.clean_last_writers(1)
+        assert 2 not in core.last_writer
+        assert 1 in core.last_writer
+
+
+class TestRunLoopGuards:
+    def test_out_of_order_commit_raises(self):
+        core = build_core(make_ino_config())
+        core.reset(with_pcs([alu(1), alu(2)]))
+        e1 = core.make_entry(core.stream.fetch())
+        e2 = core.make_entry(core.stream.fetch())
+        with pytest.raises(SimulationError, match="out-of-order commit"):
+            core.note_commit(e2, 0)
+
+    def test_max_cycles_guard(self):
+        core = build_core(make_ino_config())
+        with pytest.raises(SimulationError, match="exceeded"):
+            core.run(with_pcs([div(1) for _ in range(50)]), max_cycles=10)
+
+    def test_warm_icache_removes_l1i_misses(self):
+        trace = independent_ops(30)
+        cold = build_core(make_ino_config()).run(with_pcs(list(trace)))
+        warm = build_core(make_ino_config()).run(with_pcs(list(trace)),
+                                                 warm_icache=True)
+        assert warm.get("l1i_misses") == 0
+        assert cold.get("l1i_misses") >= 1
+        assert warm.cycles < cold.cycles
+
+
+class TestBranchEndToEnd:
+    def _branchy_trace(self, n_iters=30):
+        """A loop whose branch alternates takenness unpredictably-ish."""
+        out = []
+        for i in range(n_iters):
+            out.append(DynInst(pc=0x1000, op=OpClass.INT_ALU, dst=1))
+            out.append(DynInst(pc=0x1004, op=OpClass.INT_ALU, srcs=(1,),
+                               dst=2))
+            taken = (i * 7) % 3 == 0
+            out.append(DynInst(pc=0x1008, op=OpClass.BRANCH, srcs=(2,),
+                               taken=taken,
+                               target=0x1000 if taken else None))
+        return out
+
+    def test_mispredicts_cost_cycles(self):
+        import dataclasses
+        trace = self._branchy_trace()
+        cfg = make_ino_config()
+        base = build_core(cfg).run(list(trace), warm_icache=True)
+        cheap = build_core(dataclasses.replace(
+            cfg, mispredict_penalty=0)).run(list(trace), warm_icache=True)
+        assert base.get("fetch_mispredict_gates") > 0
+        assert cheap.cycles <= base.cycles
+
+    def test_branch_resolution_unblocks_fetch(self):
+        trace = self._branchy_trace(10)
+        stats = build_core(make_casino_config()).run(list(trace),
+                                                     warm_icache=True)
+        assert stats.committed == len(trace)
+        assert stats.get("branch_redirects") == stats.get(
+            "fetch_mispredict_gates")

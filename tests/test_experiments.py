@@ -1,0 +1,105 @@
+"""Experiment drivers: structure and headline shapes on a tiny app subset.
+
+These use short traces (6k instrs, 3 apps) so they stay test-speed; the
+full-suite numbers live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_specino_potential,
+    fig6_ipc,
+    fig7_renaming,
+    fig8_memdisambig,
+    fig9_area_energy,
+    fig10_design_space,
+    fig11_wider_issue,
+)
+from repro.harness.runner import Runner
+from repro.workloads import get_profile
+
+APPS = ("hmmer", "mcf", "milc")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(n_instrs=6000, warmup=1500)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return [get_profile(a) for a in APPS]
+
+
+class TestFig2:
+    def test_orderings(self, runner, profiles):
+        out = fig2_specino_potential.run(runner, profiles)
+        assert out["ooo"] > out["specino[2,1]"] > 1.0
+        assert out["specino[2,1]"] > out["specino[2,1]-nonmem"]
+
+
+class TestFig6:
+    def test_structure_and_geomeans(self, runner, profiles):
+        out = fig6_ipc.run(runner, profiles)
+        assert set(out) == {"lsc", "freeway", "casino", "ooo"}
+        for model in out.values():
+            assert "geomean" in model
+            assert set(model) == {*APPS, "geomean"}
+        assert out["ooo"]["geomean"] > out["casino"]["geomean"] > 1.0
+
+
+class TestFig7:
+    def test_conditional_beats_conventional(self, runner, profiles):
+        out = fig7_renaming.run(runner, profiles)
+        cond, conv = out["ConD[32,14]"], out["ConV[32,14]"]
+        assert cond["speedup"] >= 1.0
+        assert cond["allocs_per_cycle"] < conv["allocs_per_cycle"]
+        big = out["ConV[48,24]"]
+        assert big["allocs_per_cycle"] > cond["allocs_per_cycle"]
+
+
+class TestFig8:
+    def test_scheme_shapes(self, runner, profiles):
+        out = fig8_memdisambig.run(runner, profiles)
+        assert out["agi_ordering"]["perf"] < 1.0           # ~-11% in paper
+        assert out["agi_ordering"]["violations"] == 0
+        assert out["nolq"]["sq_searches"] > 1.0            # +31% in paper
+        assert out["nolq_osca"]["sq_searches"] < out["nolq"]["sq_searches"]
+        assert out["nolq_osca"]["efficiency"] >= out["nolq"]["efficiency"]
+        assert out["nolq_osca"]["lq_ops"] == 0.0
+
+
+class TestFig9:
+    def test_area_and_energy_shapes(self, runner, profiles):
+        out = fig9_area_energy.run(runner, profiles)
+        assert out["casino"]["area_rel"] < out["ooo"]["area_rel"]
+        assert 1.0 < out["casino"]["energy_rel"] < out["ooo"]["energy_rel"]
+        assert out["casino"]["perf_per_area"] > 1.0
+        assert out["ooo+nolq"]["energy_rel"] <= out["ooo"]["energy_rel"]
+
+
+class TestFig10:
+    def test_iq_sweep_shapes(self, runner, profiles):
+        out = fig10_design_space.run_iq_sweep(runner, profiles)
+        assert set(out) == set(fig10_design_space.IQ_SIZES)
+        # Issue fraction grows with IQ size (paper's Figure 10a trend).
+        fracs = [out[n]["iq_issue_frac"] for n in fig10_design_space.IQ_SIZES]
+        assert fracs[-1] > fracs[0]
+        # Performance improves from the smallest IQ.
+        assert out[12]["speedup"] > 1.0
+
+    def test_ws_so_sweep(self, runner, profiles):
+        out = fig10_design_space.run_ws_so_sweep(runner, profiles)
+        assert out[(1, 1)] == 1.0
+        assert out[(2, 1)] > 1.0  # [2,1] beats [1,1]
+
+
+class TestFig11:
+    def test_width_scaling(self, runner, profiles):
+        out = fig11_wider_issue.run(runner, profiles)
+        assert out[("ino", 2)]["perf"] == 1.0
+        for kind in ("ino", "casino", "ooo"):
+            assert out[(kind, 4)]["perf"] >= out[(kind, 2)]["perf"]
+        # CASINO keeps the best perf/energy at every width (the headline).
+        for width in (2, 3, 4):
+            assert out[("casino", width)]["per"] > out[("ooo", width)]["per"]

@@ -1,0 +1,49 @@
+"""Result export and bar rendering."""
+
+import json
+
+import pytest
+
+from repro.harness.export import jsonable, read_json, write_json
+from repro.harness.tables import format_bars
+
+
+class TestJsonable:
+    def test_tuple_keys_flattened(self):
+        out = jsonable({("casino", 4): {"perf": 1.9}})
+        assert out == {"casino/4": {"perf": 1.9}}
+
+    def test_int_keys_stringified(self):
+        assert jsonable({12: 1.0}) == {"12": 1.0}
+
+    def test_nested_lists(self):
+        assert jsonable([(1, 2.5), "x"]) == [[1, 2.5], "x"]
+
+    def test_passthrough_scalars(self):
+        assert jsonable({"a": True, "b": None, "c": 3}) == \
+            {"a": True, "b": None, "c": 3}
+
+    def test_file_round_trip(self, tmp_path):
+        data = {("ooo", 2): {"per": 0.86}, "apps": [1, 2, 3]}
+        path = tmp_path / "out.json"
+        write_json(data, path)
+        loaded = read_json(path)
+        assert loaded["ooo/2"]["per"] == 0.86
+        assert loaded["apps"] == [1, 2, 3]
+        json.loads(path.read_text())  # valid JSON on disk
+
+
+class TestBars:
+    def test_bars_scale_to_peak(self):
+        text = format_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert format_bars({}) == "(no data)"
+
+    def test_labels_aligned(self):
+        text = format_bars({"short": 1.0, "much-longer-label": 1.5})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")

@@ -1,0 +1,115 @@
+"""Cross-model integration: the paper's headline orderings must hold on a
+representative workload mix (small traces, so these stay fast)."""
+
+import pytest
+
+from repro.common.params import (
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.common.stats import geomean
+from repro.cores import build_core
+from repro.workloads import get_profile, suite_profiles
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.kernels import kernel_trace
+
+APPS = ("hmmer", "mcf", "cactusADM", "h264ref", "milc")
+N = 8000
+WARM = 2000
+
+
+@pytest.fixture(scope="module")
+def suite_ipcs():
+    traces = {a: SyntheticWorkload(get_profile(a)).generate(N) for a in APPS}
+    cfgs = [make_ino_config(), make_lsc_config(), make_freeway_config(),
+            make_casino_config(), make_ooo_config(),
+            make_specino_config(2, 1, True)]
+    out = {}
+    for cfg in cfgs:
+        core = build_core(cfg)
+        out[cfg.name] = {a: core.run(list(t), warmup=WARM).ipc
+                         for a, t in traces.items()}
+    return out
+
+
+def _gm(ipcs, name, base="ino"):
+    return geomean(ipcs[name][a] / ipcs[base][a] for a in APPS)
+
+
+class TestFigure6Orderings:
+    def test_everything_beats_ino(self, suite_ipcs):
+        for name in ("lsc", "freeway", "casino", "ooo"):
+            assert _gm(suite_ipcs, name) > 1.05, name
+
+    def test_casino_beats_slice_cores(self, suite_ipcs):
+        assert _gm(suite_ipcs, "casino") > _gm(suite_ipcs, "freeway")
+        assert _gm(suite_ipcs, "casino") > _gm(suite_ipcs, "lsc")
+
+    def test_freeway_at_least_lsc(self, suite_ipcs):
+        assert _gm(suite_ipcs, "freeway") >= _gm(suite_ipcs, "lsc") * 0.98
+
+    def test_ooo_is_the_ceiling(self, suite_ipcs):
+        assert _gm(suite_ipcs, "ooo") > _gm(suite_ipcs, "casino")
+
+    def test_casino_within_reach_of_ooo(self, suite_ipcs):
+        """Paper: within ~10 points; we allow a wider band for the small
+        trace lengths used in tests."""
+        assert _gm(suite_ipcs, "casino") > 0.70 * _gm(suite_ipcs, "ooo")
+
+    def test_specino_limit_above_casino_family(self, suite_ipcs):
+        name = make_specino_config(2, 1, True).name
+        assert _gm(suite_ipcs, name) > _gm(suite_ipcs, "freeway")
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel,kwargs", [
+        ("daxpy", dict(n=256, passes=3)),
+        ("pointer_chase", dict(nodes=128, hops=512)),
+        ("reduction", dict(n=512)),
+        ("histogram", dict(n=512, buckets=32)),
+        ("stencil3", dict(n=512)),
+    ])
+    def test_all_cores_run_all_kernels(self, kernel, kwargs):
+        trace = kernel_trace(kernel, **kwargs)
+        for cfg in (make_ino_config(), make_casino_config(),
+                    make_ooo_config(), make_lsc_config(),
+                    make_freeway_config()):
+            stats = build_core(cfg).run(list(trace))
+            assert stats.committed == len(trace), (kernel, cfg.name)
+
+    def test_pointer_chase_is_serial_everywhere(self):
+        """No scheduler can beat a dependent miss chain: CASINO and OoO
+        gain little over InO on pointer chasing."""
+        trace = kernel_trace("pointer_chase", nodes=256, hops=1024)
+        ino = build_core(make_ino_config()).run(list(trace), warmup=256)
+        ooo = build_core(make_ooo_config()).run(list(trace), warmup=256)
+        assert ooo.ipc < ino.ipc * 1.35
+
+    def test_daxpy_rewards_ooo_scheduling(self):
+        trace = kernel_trace("daxpy", n=512, passes=4)
+        ino = build_core(make_ino_config()).run(list(trace), warmup=500)
+        cas = build_core(make_casino_config()).run(list(trace), warmup=500)
+        ooo = build_core(make_ooo_config()).run(list(trace), warmup=500)
+        assert cas.ipc > ino.ipc * 1.2
+        assert ooo.ipc > ino.ipc * 1.5
+
+
+class TestStatsConsistency:
+    def test_issue_equals_commit_plus_squashed_work(self):
+        trace = SyntheticWorkload(get_profile("h264ref")).generate(4000)
+        stats = build_core(make_casino_config()).run(trace)
+        assert stats.get("issued") >= stats.committed
+        assert stats.committed == 4000
+
+    def test_warmup_subtraction(self):
+        trace = SyntheticWorkload(get_profile("gcc")).generate(4000)
+        core = build_core(make_ino_config())
+        warm = core.run(list(trace), warmup=1000)
+        assert warm.committed == 3000
+        cold = build_core(make_ino_config()).run(list(trace))
+        assert cold.committed == 4000
+        assert warm.cycles < cold.cycles

@@ -1,0 +1,119 @@
+"""Assembler: parsing, label resolution, error reporting."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import parse_reg
+
+
+class TestBasicParsing:
+    def test_three_operand_alu(self):
+        prog = assemble("add r1, r2, r3")
+        inst = prog.insts[0]
+        assert inst.op is OpClass.INT_ALU
+        assert inst.dst == 1
+        assert inst.srcs == (2, 3)
+
+    def test_immediate_forms(self):
+        prog = assemble("addi r1, r2, 42\nli r3, 0x10")
+        assert prog.insts[0].imm == 42
+        assert prog.insts[1].imm == 16
+
+    def test_memory_operand(self):
+        prog = assemble("ld r1, 8(r2)\nst r3, -16(r4)")
+        ld, st = prog.insts
+        assert ld.op is OpClass.LOAD and ld.dst == 1 and ld.srcs == (2,)
+        assert ld.imm == 8
+        assert st.op is OpClass.STORE and st.srcs == (4, 3) and st.imm == -16
+
+    def test_fp_ops(self):
+        prog = assemble("fadd f1, f2, f3\nfld f0, 0(r1)")
+        assert prog.insts[0].op is OpClass.FP_ADD
+        assert prog.insts[0].dst == parse_reg("f1")
+        assert prog.insts[1].op is OpClass.LOAD_FP
+
+    def test_mul_div_classes(self):
+        prog = assemble("mul r1, r2, r3\ndiv r4, r5, r6")
+        assert prog.insts[0].op is OpClass.INT_MUL
+        assert prog.insts[1].op is OpClass.INT_DIV
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+            ; a comment
+            add r1, r1, r2   # trailing comment
+
+            halt
+        """)
+        assert len(prog) == 2
+
+
+class TestLabels:
+    def test_branch_to_label(self):
+        prog = assemble("""
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """)
+        assert prog.insts[1].imm == prog.labels["loop"]
+        assert prog.labels["loop"] == prog.base_pc
+
+    def test_forward_label(self):
+        prog = assemble("""
+            jmp end
+            nop
+        end:
+            halt
+        """)
+        assert prog.insts[0].imm == prog.labels["end"]
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: nop\n jmp start")
+        assert prog.labels["start"] == prog.base_pc
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\na:\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("jmp nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r99")
+
+    def test_fp_register_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("fadd f1, f2, f9")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ld r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")
+
+
+class TestProgram:
+    def test_pcs_advance_by_4(self):
+        prog = assemble("nop\nnop\nnop")
+        assert [i.pc for i in prog.insts] == [0x1000, 0x1004, 0x1008]
+
+    def test_at_pc(self):
+        prog = assemble("nop\nhalt")
+        assert prog.at_pc(0x1004).op is OpClass.HALT
+        with pytest.raises(IndexError):
+            prog.at_pc(0x2000)

@@ -1,0 +1,161 @@
+"""Functional emulator semantics, including end-to-end kernel checks."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.emulator import EmulationError, Emulator, trace_program
+from repro.isa.opcodes import OpClass
+from repro.workloads.kernels import (
+    daxpy_program,
+    histogram_program,
+    pointer_chase_program,
+    reduction_program,
+    stencil3_program,
+)
+
+
+def run_regs(src, memory=None):
+    emu = Emulator(assemble(src), memory=memory)
+    list(emu.run())
+    return emu
+
+
+class TestArithmetic:
+    def test_li_add(self):
+        emu = run_regs("li r1, 5\nli r2, 7\nadd r3, r1, r2\nhalt")
+        assert emu.regs[3] == 12
+
+    def test_sub_and_negative_wrap(self):
+        emu = run_regs("li r1, 3\nli r2, 5\nsub r3, r1, r2\nhalt")
+        assert emu.regs[3] == (3 - 5) % (1 << 64)
+
+    def test_logic_shift(self):
+        emu = run_regs("li r1, 12\nli r2, 10\nand r3, r1, r2\n"
+                       "or r4, r1, r2\nxor r5, r1, r2\nslli r6, r1, 2\nhalt")
+        assert emu.regs[3] == 8
+        assert emu.regs[4] == 14
+        assert emu.regs[5] == 6
+        assert emu.regs[6] == 48
+
+    def test_mul_div(self):
+        emu = run_regs("li r1, 6\nli r2, 7\nmul r3, r1, r2\n"
+                       "div r4, r3, r1\nhalt")
+        assert emu.regs[3] == 42
+        assert emu.regs[4] == 7
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(EmulationError, match="division by zero"):
+            run_regs("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt")
+
+    def test_slt_signed(self):
+        emu = run_regs("li r1, 0\nli r2, 1\nsub r3, r1, r2\n"
+                       "slt r4, r3, r1\nhalt")
+        assert emu.regs[4] == 1  # -1 < 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        emu = run_regs("li r1, 4096\nli r2, 99\nst r2, 0(r1)\n"
+                       "ld r3, 0(r1)\nhalt")
+        assert emu.regs[3] == 99
+
+    def test_offset_addressing(self):
+        emu = run_regs("li r1, 4096\nli r2, 7\nst r2, 24(r1)\n"
+                       "ld r3, 24(r1)\nhalt")
+        assert emu.regs[3] == 7
+
+    def test_uninitialised_memory_is_deterministic(self):
+        a = run_regs("li r1, 8192\nld r2, 0(r1)\nhalt")
+        b = run_regs("li r1, 8192\nld r2, 0(r1)\nhalt")
+        assert a.regs[2] == b.regs[2]
+
+    def test_initial_memory_image(self):
+        emu = run_regs("li r1, 100\nld r2, 0(r1)\nhalt", memory={100: 1234})
+        assert emu.regs[2] == 1234
+
+    def test_trace_records_addresses(self):
+        trace = trace_program(assemble("li r1, 4096\nld r2, 8(r1)\nhalt"))
+        load = [d for d in trace if d.is_load][0]
+        assert load.mem_addr == 4104
+        assert load.mem_size == 8
+
+
+class TestControlFlow:
+    def test_loop_count(self):
+        emu = run_regs("""
+            li r1, 0
+            li r2, 10
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        assert emu.regs[1] == 10
+
+    def test_branch_records_outcome(self):
+        trace = trace_program(assemble("""
+            li r1, 0
+            li r2, 2
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """))
+        branches = [d for d in trace if d.op is OpClass.BRANCH]
+        assert [b.taken for b in branches] == [True, False]
+        assert branches[0].target == 0x1008
+
+    def test_jump(self):
+        emu = run_regs("li r1, 1\njmp skip\nli r1, 2\nskip: halt")
+        assert emu.regs[1] == 1
+
+    def test_runaway_guard(self):
+        prog = assemble("loop: jmp loop")
+        with pytest.raises(EmulationError, match="exceeded"):
+            list(Emulator(prog, max_insts=100).run())
+
+
+class TestKernels:
+    def test_daxpy_computes_y(self):
+        program, memory = daxpy_program(n=32, unroll=4, passes=1)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        # y[i] = 3*x[i] + y[i] with x[i] = i+1, y[i] = 2i
+        for i in range(32):
+            assert emu.memory[0x20_0000 + 8 * i] == 3 * (i + 1) + 2 * i
+
+    def test_daxpy_passes_accumulate(self):
+        program, memory = daxpy_program(n=8, unroll=4, passes=2)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        # After two passes: y = 2*3x + y0.
+        for i in range(8):
+            assert emu.memory[0x20_0000 + 8 * i] == 6 * (i + 1) + 2 * i
+
+    def test_reduction_sums(self):
+        program, memory = reduction_program(n=64)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        from repro.common.params import NUM_INT_ARCH
+        assert emu.regs[NUM_INT_ARCH + 0] == sum(range(64))  # f0
+
+    def test_histogram_counts(self):
+        program, memory = histogram_program(n=128, buckets=16)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        total = sum(emu.memory[0x60_0000 + 8 * b] for b in range(16))
+        assert total == 128
+
+    def test_pointer_chase_walks_all_nodes(self):
+        program, memory = pointer_chase_program(nodes=16, hops=16)
+        trace = list(Emulator(program, memory=memory).run())
+        load_addrs = {d.mem_addr for d in trace if d.is_load}
+        assert len(load_addrs) == 16  # every node visited exactly once
+
+    def test_stencil_writes_sums(self):
+        program, memory = stencil3_program(n=16)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        # out[i] = a[i-1] + a[i] + a[i+1] with a[i] = i+1
+        for i in range(1, 15):
+            assert emu.memory[0x80_0000 + 8 * (i - 1)] == 3 * (i + 1)

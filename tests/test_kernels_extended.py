@@ -1,0 +1,108 @@
+"""Functional correctness of the extended kernels + their timing character."""
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config, make_ooo_config
+from repro.cores import build_core
+from repro.isa.emulator import Emulator
+from repro.workloads.kernels import (
+    KERNELS,
+    binary_search_program,
+    kernel_trace,
+    matmul_program,
+    memcpy_program,
+    partition_program,
+)
+
+
+class TestMatmul:
+    def test_result_correct(self):
+        n = 6
+        program, memory = matmul_program(n=n)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        a = [[i + j + 1 for j in range(n)] for i in range(n)]
+        b = [[(i * j) % 7 + 1 for j in range(n)] for i in range(n)]
+        for i in range(n):
+            for j in range(n):
+                expect = sum(a[i][k] * b[k][j] for k in range(n))
+                assert emu.memory[0xB0_0000 + 8 * (i * n + j)] == expect
+
+    def test_compute_bound_high_ipc(self):
+        trace = kernel_trace("matmul", n=8)
+        stats = build_core(make_ooo_config()).run(trace, warmup=500)
+        assert stats.ipc > 0.8  # small matrices live in the L1
+
+
+class TestMemcpy:
+    def test_copies_exactly(self):
+        program, memory = memcpy_program(n=64)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        for i in range(64):
+            assert emu.memory[0xD0_0000 + 8 * i] == i * 3 + 1
+
+    def test_streaming_prefetch_covers(self):
+        trace = kernel_trace("memcpy", n=2048)
+        stats = build_core(make_casino_config()).run(trace, warmup=2000)
+        # After warm-up, the stride prefetcher covers the source stream.
+        assert stats.get("prefetches_issued") > 0
+
+
+class TestBinarySearch:
+    def test_terminates_and_bounded(self):
+        program, memory = binary_search_program(n=256, lookups=64)
+        emu = Emulator(program, memory=memory)
+        trace = list(emu.run())
+        # Each lookup needs <= log2(256)+1 = 9 probe loads.
+        probes = sum(1 for d in trace if d.is_load)
+        assert probes <= 64 * 10
+
+    def test_branchy_behaviour(self):
+        trace = kernel_trace("binary_search", n=512, lookups=128)
+        stats = build_core(make_ino_config()).run(trace, warmup=500)
+        # Data-dependent direction branches mispredict substantially.
+        assert stats.get("bp_mispredicts") > 50
+
+
+class TestPartition:
+    def test_partitions_correctly(self):
+        n = 128
+        program, memory = partition_program(n=n)
+        emu = Emulator(program, memory=memory)
+        list(emu.run())
+        values = [emu.memory[0xF0_0000 + 8 * i] for i in range(n)]
+        pivot = n // 2
+        smaller = sum(1 for v in values if v < pivot)
+        assert sorted(values) == list(range(n))      # a permutation
+        assert all(v < pivot for v in values[:smaller])
+        assert all(v >= pivot for v in values[smaller:])
+
+    def test_aliasing_pressure(self):
+        """Partition's swap stores land next to in-flight loads: the
+        CASINO value-check path gets exercised without deadlock."""
+        trace = kernel_trace("partition", n=512)
+        stats = build_core(make_casino_config()).run(trace, warmup=500)
+        # The warm-up snapshot lands on a commit-group boundary, so up to
+        # width-1 extra instructions may fall into the warm-up window.
+        assert len(trace) - 502 <= stats.committed <= len(trace) - 500
+
+
+class TestAllKernelsOnAllCores:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_kernel_commits_everywhere(self, kernel):
+        small = {
+            "pointer_chase": dict(nodes=64, hops=128),
+            "daxpy": dict(n=64, passes=2),
+            "reduction": dict(n=128),
+            "histogram": dict(n=128, buckets=16),
+            "stencil3": dict(n=128),
+            "matmul": dict(n=5),
+            "memcpy": dict(n=128),
+            "binary_search": dict(n=128, lookups=16),
+            "partition": dict(n=128),
+        }[kernel]
+        trace = kernel_trace(kernel, **small)
+        for make in (make_ino_config, make_casino_config, make_ooo_config):
+            stats = build_core(make()).run(list(trace))
+            assert stats.committed == len(trace), (kernel, make().name)

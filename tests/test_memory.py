@@ -1,0 +1,165 @@
+"""Cache, MSHR, DRAM and prefetcher behaviour."""
+
+import pytest
+
+from repro.common.params import CacheConfig, DramConfig, MemoryConfig
+from repro.common.stats import Stats
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+
+
+def flat_memory(latency=100):
+    """A constant-latency backing store."""
+    def access(addr, cycle):
+        return latency
+    return access
+
+
+class TestCache:
+    def make(self, **kw):
+        cfg = CacheConfig(size_kib=kw.pop("size_kib", 1), assoc=kw.pop("assoc", 2),
+                          line_bytes=64, latency=kw.pop("latency", 4),
+                          mshrs=kw.pop("mshrs", 4))
+        return Cache("l1d", cfg, flat_memory(kw.pop("miss", 100)), Stats())
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access(0x1000, 0) > 4
+        assert cache.access(0x1000, 1000) == 4
+        assert cache.stats.get("l1d_hits") == 1
+        assert cache.stats.get("l1d_misses") == 1
+
+    def test_same_line_different_words_hit(self):
+        cache = self.make()
+        cache.access(0x1000, 0)
+        assert cache.access(0x1038, 1000) == 4
+
+    def test_lru_eviction(self):
+        cache = self.make()  # 1 KiB / 2-way / 64B = 8 sets
+        # Three lines in the same set: the first touched gets evicted.
+        a, b, c = 0x0, 0x0 + 8 * 64, 0x0 + 16 * 64
+        for addr in (a, b, c):
+            cache.access(addr, 0)
+        assert not cache.contains(a)
+        assert cache.contains(b) and cache.contains(c)
+
+    def test_lru_refresh_protects_line(self):
+        cache = self.make()
+        a, b, c = 0x0, 0x0 + 8 * 64, 0x0 + 16 * 64
+        cache.access(a, 0)
+        cache.access(b, 1000)
+        cache.access(a, 2000)  # refresh a; b becomes LRU
+        cache.access(c, 3000)
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_mshr_merge_pays_residual(self):
+        cache = self.make(miss=100)
+        first = cache.access(0x1000, 0)
+        # Second access to the same line 10 cycles later merges.
+        second = cache.access(0x1000, 10)
+        assert second < first
+        assert second == (first - 10) + 4
+        assert cache.stats.get("l1d_mshr_merges") == 1
+
+    def test_mshr_backpressure(self):
+        cache = self.make(miss=100, mshrs=2)
+        cache.access(0x0, 0)
+        cache.access(0x4000, 0)
+        # Third distinct miss at cycle 0 waits for a free MSHR.
+        lat = cache.access(0x8000, 0)
+        assert lat > 104
+        assert cache.stats.get("l1d_mshr_stalls") == 1
+
+    def test_prefetch_install(self):
+        cache = self.make()
+        cache.install_prefetch(0x2000, fill_at=50)
+        # Demand access at cycle 10 pays the residual fill, not a miss.
+        lat = cache.access(0x2000, 10)
+        assert lat == (50 - 10) + 4
+        assert cache.stats.get("l1d_misses") == 0
+
+
+class TestDram:
+    def test_row_hit_cheaper_than_conflict(self):
+        dram = Dram(DramConfig(), Stats())
+        first = dram.access(0x0, 0)
+        hit = dram.access(0x40, first + 10)   # hmm: next line maps elsewhere
+        # Use the same line to guarantee the same bank+row.
+        same = dram.access(0x0, 10_000)
+        far = dram.access(0x100_0000, 20_000)
+        assert same <= first
+        assert dram.stats.get("dram_row_hits") >= 1
+
+    def test_bank_busy_serialises(self):
+        dram = Dram(DramConfig(), Stats())
+        a = dram.access(0x0, 0)
+        b = dram.access(0x0, 0)  # same bank, same cycle: queues behind
+        assert b > a
+
+    def test_reset(self):
+        dram = Dram(DramConfig(), Stats())
+        dram.access(0x0, 0)
+        dram.reset()
+        assert all(b.open_row is None for b in dram.banks)
+
+
+class TestPrefetcher:
+    def test_stream_detected_and_filled(self):
+        stats = Stats()
+        mem = MemoryConfig()
+        hier = MemoryHierarchy(mem, stats)
+        # Sequential misses through the L2 train the prefetcher.
+        for i in range(8):
+            hier.load(0x10_0000 + 64 * i, i * 200)
+        assert stats.get("prefetches_issued") > 0
+
+    def test_prefetch_covers_future_lines(self):
+        stats = Stats()
+        hier = MemoryHierarchy(MemoryConfig(), stats)
+        cycle = 0
+        for i in range(32):
+            cycle += hier.load(0x20_0000 + 64 * i, cycle)
+        # Later accesses should be covered: L2 demand misses << 32.
+        assert stats.get("l2_misses") < 20
+
+    def test_random_pattern_trains_nothing(self):
+        stats = Stats()
+        hier = MemoryHierarchy(MemoryConfig(), stats)
+        addrs = [0x30_0000, 0x37_1040, 0x32_20C0, 0x3F_3000, 0x31_0880]
+        for i, a in enumerate(addrs):
+            hier.load(a, i * 300)
+        assert stats.get("prefetches_issued") == 0
+
+    def test_disabled_prefetcher(self):
+        cfg = MemoryConfig(prefetch_enabled=False)
+        hier = MemoryHierarchy(cfg, Stats())
+        assert hier.prefetcher is None
+        for i in range(8):
+            hier.load(0x10_0000 + 64 * i, i * 200)
+        assert hier.stats.get("prefetches_issued") == 0
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        hier = MemoryHierarchy(MemoryConfig(), Stats())
+        hier.load(0x1000, 0)
+        assert hier.load(0x1000, 1000) == 4
+
+    def test_ifetch_separate_from_data(self):
+        stats = Stats()
+        hier = MemoryHierarchy(MemoryConfig(), stats)
+        hier.ifetch(0x1000, 0)
+        hier.load(0x1000, 0)
+        assert stats.get("l1i_accesses") == 1
+        assert stats.get("l1d_accesses") == 1
+
+    def test_l2_shared_between_i_and_d(self):
+        stats = Stats()
+        hier = MemoryHierarchy(MemoryConfig(), stats)
+        hier.ifetch(0x9000, 0)        # fills the line into L2
+        lat = hier.load(0x9000, 5000)  # L1D miss, L2 hit
+        assert lat < 4 + 11 + 50      # far below a DRAM trip
+        assert stats.get("l2_hits") >= 1

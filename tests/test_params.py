@@ -1,0 +1,112 @@
+"""Configuration factories must encode Table I exactly."""
+
+import pytest
+
+from repro.common.params import (
+    NUM_FP_ARCH,
+    NUM_INT_ARCH,
+    RENAME_CONDITIONAL,
+    RENAME_CONVENTIONAL,
+    CacheConfig,
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+
+
+class TestTableI:
+    def test_ino_baseline(self):
+        cfg = make_ino_config()
+        assert cfg.kind == "ino"
+        assert cfg.width == 2
+        assert cfg.iq_size == 16
+        assert cfg.scb_size == 4
+        assert cfg.sq_sb_size == 4
+
+    def test_casino(self):
+        cfg = make_casino_config()
+        assert cfg.kind == "casino"
+        assert cfg.siq_size == 4
+        assert cfg.iq_size == 12
+        assert cfg.sq_sb_size == 8
+        assert cfg.prf_int == 32
+        assert cfg.prf_fp == 14
+        assert cfg.rob_size == 32
+        assert cfg.rename_scheme == RENAME_CONDITIONAL
+        assert cfg.osca_entries == 64
+
+    def test_ooo(self):
+        cfg = make_ooo_config()
+        assert cfg.kind == "ooo"
+        assert cfg.iq_size == 16
+        assert cfg.lq_size == 16
+        assert cfg.sq_sb_size == 8
+        assert cfg.prf_int == 48
+        assert cfg.prf_fp == 24
+        assert cfg.rob_size == 32
+        assert cfg.rename_scheme == RENAME_CONVENTIONAL
+
+    def test_specino_policy(self):
+        cfg = make_specino_config(2, 1, mem=False)
+        assert cfg.specino_ws == 2
+        assert cfg.specino_so == 1
+        assert not cfg.specino_mem
+        assert "nonmem" in cfg.name
+
+    def test_slice_cores(self):
+        lsc = make_lsc_config()
+        fwy = make_freeway_config()
+        assert lsc.kind == "lsc" and fwy.kind == "freeway"
+        assert lsc.biq_size == 32 and lsc.aiq_size == 32
+        assert fwy.yiq_size == 32
+
+    def test_functional_units(self):
+        for cfg in (make_ino_config(), make_casino_config(), make_ooo_config()):
+            assert (cfg.n_alu, cfg.n_fpu, cfg.n_agu) == (2, 2, 2)
+
+
+class TestScaling:
+    def test_casino_4way_quadruples_window(self):
+        cfg = make_casino_config(4)
+        assert cfg.width == 4
+        assert cfg.rob_size == 128
+        assert cfg.iq_size == 48
+        assert cfg.sq_sb_size == 32
+        # PRF scales its *spare* registers, not the architectural base.
+        assert cfg.prf_int == NUM_INT_ARCH + (32 - NUM_INT_ARCH) * 4
+        assert cfg.prf_fp == NUM_FP_ARCH + (14 - NUM_FP_ARCH) * 4
+
+    def test_casino_wider_inserts_intermediate_siqs(self):
+        assert make_casino_config(2).n_intermediate_siqs == 0
+        assert make_casino_config(3).n_intermediate_siqs == 1
+        assert make_casino_config(4).n_intermediate_siqs == 2
+
+    def test_casino_wider_disables_conditional_renaming(self):
+        assert make_casino_config(3).rename_scheme == RENAME_CONVENTIONAL
+        assert make_casino_config(4).rename_scheme == RENAME_CONVENTIONAL
+
+    def test_fus_do_not_scale(self):
+        cfg = make_ooo_config(4)
+        assert cfg.n_fpu == 2
+        assert cfg.n_agu == 2
+
+    def test_ooo_3way_doubles(self):
+        cfg = make_ooo_config(3)
+        assert cfg.rob_size == 64
+        assert cfg.lq_size == 32
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        assert CacheConfig(32, 8, 64).n_sets == 64
+        assert CacheConfig(1024, 16, 64).n_sets == 1024
+
+    def test_l1_geometry_table1(self):
+        from repro.common.params import MemoryConfig
+        mem = MemoryConfig()
+        assert mem.l1d.size_kib == 32 and mem.l1d.assoc == 8
+        assert mem.l1d.latency == 4
+        assert mem.l2.size_kib == 1024 and mem.l2.latency == 11

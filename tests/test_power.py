@@ -1,0 +1,136 @@
+"""Power/area model: scaling laws, inventories and the paper's orderings."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import (
+    DISAMBIG_NOLQ,
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.common.stats import Stats
+from repro.power.accounting import build_power_model
+from repro.power.structures import cam_search_pj, ram_access_pj, sram_area_mm2
+
+
+class TestScalingLaws:
+    def test_ram_energy_grows_with_entries(self):
+        assert ram_access_pj(256, 64) > ram_access_pj(16, 64)
+
+    def test_ram_energy_grows_with_ports(self):
+        assert ram_access_pj(64, 64, 6) > ram_access_pj(64, 64, 1)
+
+    def test_cam_energy_linear_in_entries(self):
+        small = cam_search_pj(8, 44)
+        large = cam_search_pj(32, 44)
+        assert large > small
+        # The entry-dependent part scales 4x.
+        assert (large - small) == pytest.approx(3 * (small - 0.5) * 1.0, rel=0.01) \
+            or large > 2 * small - 1.0
+
+    def test_area_cam_premium(self):
+        assert sram_area_mm2(16, 64, cam=True) > sram_area_mm2(16, 64)
+
+    def test_area_port_superlinear(self):
+        one = sram_area_mm2(64, 64, 1)
+        four = sram_area_mm2(64, 64, 4)
+        assert four > 4 * one
+
+
+class TestInventories:
+    def test_every_kind_builds(self):
+        for cfg in (make_ino_config(), make_ooo_config(), make_casino_config(),
+                    make_lsc_config(), make_freeway_config(),
+                    make_specino_config()):
+            model = build_power_model(cfg)
+            assert model.area_mm2() > 0
+            assert model.dynamic_items
+
+    def test_area_ordering_matches_paper(self):
+        """Figure 9a: InO < CASINO (~+5%) < OoO (~+35%)."""
+        ino = build_power_model(make_ino_config()).area_mm2()
+        cas = build_power_model(make_casino_config()).area_mm2()
+        ooo = build_power_model(make_ooo_config()).area_mm2()
+        assert ino < cas < ooo
+        assert 1.02 < cas / ino < 1.12
+        assert 1.20 < ooo / ino < 1.55
+
+    def test_casino_has_no_lq(self):
+        model = build_power_model(make_casino_config())
+        names = [n for _, n, _ in model.area_items]
+        assert "lq" not in names
+        assert "osca" in names
+
+    def test_ooo_nolq_drops_lq(self):
+        cfg = dataclasses.replace(make_ooo_config(), disambiguation=DISAMBIG_NOLQ)
+        model = build_power_model(cfg)
+        names = [n for _, n, _ in model.area_items]
+        assert "lq" not in names
+
+    def test_wider_casino_bigger(self):
+        a2 = build_power_model(make_casino_config(2)).area_mm2()
+        a4 = build_power_model(make_casino_config(4)).area_mm2()
+        assert a4 > a2
+
+
+class TestEnergyReport:
+    def _stats(self, cycles=1000, committed=800):
+        s = Stats()
+        s.add("cycles", cycles)
+        s.add("committed", committed)
+        s.add("issued", committed)
+        s.add("l1d_accesses", 300)
+        s.add("fetched", committed)
+        return s
+
+    def test_total_is_dynamic_plus_leakage(self):
+        model = build_power_model(make_ino_config())
+        report = model.energy(self._stats())
+        assert report.total_j == pytest.approx(
+            report.dynamic_j + report.leakage_j)
+        assert report.leakage_j > 0
+
+    def test_leakage_scales_with_cycles(self):
+        model = build_power_model(make_ino_config())
+        short = model.energy(self._stats(cycles=1000))
+        long = model.energy(self._stats(cycles=2000))
+        assert long.leakage_j == pytest.approx(2 * short.leakage_j)
+
+    def test_groups_sum_to_total(self):
+        model = build_power_model(make_ooo_config())
+        report = model.energy(self._stats())
+        assert sum(report.by_group.values()) == pytest.approx(report.total_j)
+
+    def test_epi(self):
+        model = build_power_model(make_ino_config())
+        report = model.energy(self._stats(committed=800))
+        assert report.epi_nj == pytest.approx(report.total_j / 800 * 1e9)
+
+    def test_efficiency_positive(self):
+        model = build_power_model(make_ino_config())
+        assert model.energy(self._stats()).efficiency() > 0
+
+    def test_empty_run_is_safe(self):
+        model = build_power_model(make_ino_config())
+        report = model.energy(Stats())
+        assert report.total_j == 0.0
+        assert report.epi_nj == 0.0
+        assert report.efficiency() == 0.0
+
+
+class TestEndToEndEnergy:
+    def test_energy_ordering_on_workload(self):
+        """Figure 9b ordering on one mid-weight app: InO < CASINO < OoO."""
+        from repro.harness.runner import Runner
+        from repro.workloads import get_profile
+        runner = Runner(n_instrs=8000, warmup=2000)
+        profile = get_profile("milc")
+        e = {}
+        for cfg in (make_ino_config(), make_casino_config(), make_ooo_config()):
+            e[cfg.name] = runner.run(cfg, profile).energy.total_j
+        assert e["ino"] < e["casino"] < e["ooo"]

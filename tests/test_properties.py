@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis): every core must preserve the
+architectural contract on arbitrary workloads, and the substrates must
+uphold their structural invariants."""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import (
+    NUM_INT_ARCH,
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.cores import build_core
+from repro.cores.casino.osca import Osca
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+
+CORE_FACTORIES = [make_ino_config, make_ooo_config, make_casino_config,
+                  make_lsc_config, make_freeway_config, make_specino_config]
+
+
+@st.composite
+def profiles(draw):
+    """Small random-but-valid workload profiles."""
+    frac_stream = draw(st.floats(0.1, 0.8))
+    frac_chase = draw(st.floats(0.0, min(0.3, 0.9 - frac_stream)))
+    frac_random = 1.0 - frac_stream - frac_chase
+    return WorkloadProfile(
+        name="hyp",
+        seed=draw(st.integers(0, 2**16)),
+        frac_mem=draw(st.floats(0.1, 0.55)),
+        frac_store=draw(st.floats(0.1, 0.55)),
+        frac_fp=draw(st.floats(0.0, 0.8)),
+        n_blocks=draw(st.integers(4, 16)),
+        block_len_mean=draw(st.integers(3, 12)),
+        serial_frac=draw(st.floats(0.05, 0.5)),
+        load_consumer_frac=draw(st.floats(0.0, 0.7)),
+        stale_src_frac=draw(st.floats(0.1, 0.6)),
+        footprint_kib=draw(st.sampled_from([16, 64, 512])),
+        frac_stream=frac_stream,
+        frac_random=frac_random,
+        frac_chase=frac_chase,
+        alias_frac=draw(st.floats(0.0, 0.4)),
+        br_random_frac=draw(st.floats(0.0, 0.3)),
+    )
+
+
+_SETTINGS = settings(max_examples=12, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(profile=profiles(), factory=st.sampled_from(CORE_FACTORIES))
+@_SETTINGS
+def test_every_core_commits_the_whole_trace(profile, factory):
+    """Total commit + in-order commit (asserted inside the engine) on any
+    workload shape, for every core model."""
+    trace = SyntheticWorkload(profile).generate(400)
+    core = build_core(factory())
+    stats = core.run(trace, max_cycles=400_000)
+    assert stats.committed == 400
+    assert core.pipeline_empty()
+
+
+@given(profile=profiles())
+@_SETTINGS
+def test_casino_structures_drain_clean(profile):
+    """After a full run: SQ/SB empty, no sentinels, OSCA at zero, no
+    pending ProducerCounts, free lists within bounds."""
+    trace = SyntheticWorkload(profile).generate(400)
+    cfg = make_casino_config()
+    core = build_core(cfg)
+    core.run(trace, max_cycles=400_000)
+    assert core.lsu.empty
+    assert not core.lsu.sentinels
+    if core.lsu.osca is not None:
+        assert core.lsu.osca.total == 0
+    assert not core.renamer.pending
+    assert 0 <= core.renamer.free_int <= cfg.prf_int - NUM_INT_ARCH
+    assert core.dbuf_used == 0
+
+
+@given(profile=profiles())
+@_SETTINGS
+def test_casino_never_slower_than_ino_by_much(profile):
+    """Speculative issue may never catastrophically lose to the baseline
+    (small fixed tolerance for front-end depth differences)."""
+    trace = SyntheticWorkload(profile).generate(400)
+    ino = build_core(make_ino_config()).run(list(trace), max_cycles=400_000)
+    cas = build_core(make_casino_config()).run(list(trace), max_cycles=400_000)
+    assert cas.cycles <= ino.cycles * 1.25 + 100
+
+
+@given(profile=profiles())
+@_SETTINGS
+def test_ooo_free_list_balances(profile):
+    trace = SyntheticWorkload(profile).generate(400)
+    cfg = make_ooo_config()
+    core = build_core(cfg)
+    core.run(trace, max_cycles=400_000)
+    assert core.free_int == cfg.prf_int - NUM_INT_ARCH
+
+
+@given(addrs=st.lists(st.tuples(st.integers(0, 4096), st.sampled_from([4, 8])),
+                      min_size=1, max_size=8))
+@_SETTINGS
+def test_osca_inc_dec_always_returns_to_zero(addrs):
+    osca = Osca(entries=64, granule=4, max_outstanding=8)
+    for addr, size in addrs:
+        osca.inc(addr, size)
+    for addr, size in addrs:
+        assert osca.outstanding(addr, size) >= 1
+    for addr, size in addrs:
+        osca.dec(addr, size)
+    assert osca.total == 0
+
+
+@given(seed=st.integers(0, 2**16), n=st.integers(50, 300))
+@_SETTINGS
+def test_trace_generation_deterministic(seed, n):
+    profile = WorkloadProfile(name="det", seed=seed)
+    a = SyntheticWorkload(profile).generate(n)
+    b = SyntheticWorkload(profile).generate(n)
+    assert [(d.pc, d.op, d.mem_addr, d.taken) for d in a] == \
+           [(d.pc, d.op, d.mem_addr, d.taken) for d in b]
+
+
+@given(profile=profiles())
+@_SETTINGS
+def test_runs_are_reproducible(profile):
+    """The same core on the same trace gives bit-identical statistics."""
+    trace = SyntheticWorkload(profile).generate(300)
+    a = build_core(make_casino_config()).run(list(trace), max_cycles=400_000)
+    b = build_core(make_casino_config()).run(list(trace), max_cycles=400_000)
+    assert a.as_dict() == b.as_dict()

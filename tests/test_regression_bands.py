@@ -1,0 +1,99 @@
+"""Regression bands: the headline numbers on a fixed quick subset.
+
+The simulator is fully deterministic, so these bands (intentionally loose,
+~±10%) only trip when a change moves the *science* — scheduling behaviour,
+memory system, or calibration — not on refactors.  Update the bands
+consciously if the model is re-tuned, and re-check EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.common.params import (
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+)
+from repro.common.stats import geomean
+from repro.harness.runner import Runner
+from repro.workloads.suite import SUITE
+
+APPS = ["hmmer", "mcf", "cactusADM", "h264ref", "libquantum", "milc"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(n_instrs=12_000, warmup=3_000)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return [SUITE[a] for a in APPS]
+
+
+def _geomean_speedup(runner, profiles, cfg):
+    base = make_ino_config()
+    return geomean(runner.run(cfg, p).ipc / runner.run(base, p).ipc
+                   for p in profiles)
+
+
+class TestSpeedupBands:
+    def test_casino_band(self, runner, profiles):
+        value = _geomean_speedup(runner, profiles, make_casino_config())
+        assert 1.35 < value < 1.75
+
+    def test_ooo_band(self, runner, profiles):
+        value = _geomean_speedup(runner, profiles, make_ooo_config())
+        assert 1.6 < value < 2.1
+
+    def test_lsc_band(self, runner, profiles):
+        value = _geomean_speedup(runner, profiles, make_lsc_config())
+        assert 1.15 < value < 1.5
+
+    def test_freeway_band(self, runner, profiles):
+        value = _geomean_speedup(runner, profiles, make_freeway_config())
+        assert 1.2 < value < 1.55
+
+
+class TestEnergyBands:
+    def test_casino_energy_band(self, runner, profiles):
+        base = make_ino_config()
+        cas = make_casino_config()
+        ratio = (sum(runner.run(cas, p).energy.total_j for p in profiles)
+                 / sum(runner.run(base, p).energy.total_j for p in profiles))
+        assert 1.05 < ratio < 1.45
+
+    def test_ooo_energy_band(self, runner, profiles):
+        base = make_ino_config()
+        ooo = make_ooo_config()
+        ratio = (sum(runner.run(ooo, p).energy.total_j for p in profiles)
+                 / sum(runner.run(base, p).energy.total_j for p in profiles))
+        assert 1.6 < ratio < 2.4
+
+
+class TestSpecIssueBand:
+    def test_spec_fraction(self, runner, profiles):
+        """Paper: ~65% of dynamic instructions issue from the S-IQ; our
+        synthetic suite sits around 50-55%."""
+        cfg = make_casino_config()
+        spec = issued = 0.0
+        for p in profiles:
+            stats = runner.run(cfg, p).stats
+            spec += stats.get("issued_spec")
+            issued += stats.get("issued")
+        assert 0.40 < spec / issued < 0.70
+
+
+class TestSeedRobustness:
+    def test_speedup_stable_across_seeds(self, runner):
+        """The CASINO speedup on one app varies modestly across generator
+        seeds — the conclusions don't hinge on one lucky trace."""
+        profile = SUITE["milc"]
+        cas, ino = make_casino_config(), make_ino_config()
+        speedups = []
+        for k, res in runner.run_seeds(cas, profile, n_seeds=3).items():
+            base = runner.run_seeds(ino, profile, n_seeds=3)[k]
+            speedups.append(res.ipc / base.ipc)
+        assert max(speedups) / min(speedups) < 1.35
+        assert all(s > 1.1 for s in speedups)

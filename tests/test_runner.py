@@ -1,0 +1,70 @@
+"""Harness: runner memoisation, speedups, tables."""
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config, make_ooo_config
+from repro.harness.runner import Runner
+from repro.harness.tables import format_series, format_table
+from repro.workloads import get_profile
+
+
+class TestRunner:
+    def test_run_returns_result(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        res = runner.run(make_ino_config(), get_profile("hmmer"))
+        assert res.ipc > 0
+        assert res.energy.total_j > 0
+        assert res.app == "hmmer"
+
+    def test_memoisation_returns_same_object(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        a = runner.run(make_ino_config(), get_profile("hmmer"))
+        b = runner.run(make_ino_config(), get_profile("hmmer"))
+        assert a is b
+
+    def test_different_configs_not_conflated(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        a = runner.run(make_ino_config(), get_profile("hmmer"))
+        b = runner.run(make_casino_config(), get_profile("hmmer"))
+        assert a is not b
+        assert a.stats.cycles != b.stats.cycles
+
+    def test_trace_cached_per_profile(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        t1 = runner.trace(get_profile("gcc"))
+        t2 = runner.trace(get_profile("gcc"))
+        assert t1 is t2
+
+    def test_speedups_structure(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        profiles = [get_profile("hmmer"), get_profile("milc")]
+        out = runner.speedups([make_casino_config(), make_ooo_config()],
+                              profiles, make_ino_config())
+        assert set(out) == {"casino", "ooo"}
+        assert set(out["casino"]) == {"hmmer", "milc"}
+        assert all(v > 0 for v in out["casino"].values())
+
+    def test_run_suite(self):
+        runner = Runner(n_instrs=2000, warmup=500)
+        out = runner.run_suite(make_ino_config(),
+                               [get_profile("hmmer"), get_profile("gcc")])
+        assert set(out) == {"hmmer", "gcc"}
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["longer", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "1.500" in text
+
+    def test_format_table_int_passthrough(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+    def test_format_series(self):
+        text = format_series("sweep", {"a": 1.0, "b": 2})
+        assert text.startswith("sweep:")
+        assert "a=1.000" in text and "b=2" in text

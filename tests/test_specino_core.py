@@ -1,0 +1,64 @@
+"""SpecInO limit model (Figure 2 machinery)."""
+
+import pytest
+
+from repro.common.params import make_ino_config, make_specino_config
+from tests.util import alu, div, independent_ops, load, run_trace, store
+
+
+class TestSpecWindow:
+    def test_commits_everything(self):
+        stats, _ = run_trace(make_specino_config(), independent_ops(40))
+        assert stats.committed == 40
+
+    def test_issues_ready_work_behind_stall(self):
+        trace = [div(1), alu(2, (1,))] + independent_ops(16, start_reg=3)
+        stats, _ = run_trace(make_specino_config(2, 1), trace)
+        assert stats.get("issued_spec") > 0
+
+    def test_beats_ino_on_divider_pairs(self):
+        trace = []
+        for i in range(4):
+            trace.extend([div(1 + i), alu(10 + i, (1 + i,))])
+        s_spec, _ = run_trace(make_specino_config(2, 1), list(trace))
+        s_ino, _ = run_trace(make_ino_config(), list(trace))
+        assert s_spec.cycles < s_ino.cycles
+
+    def test_nonmem_mode_never_speculates_memory(self):
+        trace = [div(1), alu(2, (1,))] + [
+            load(3 + i % 4, 15, 0x4000 + 64 * i) for i in range(8)]
+        stats, core = run_trace(make_specino_config(2, 1, mem=False), trace)
+        # Every load issued from the head (program order), so loads issue
+        # strictly after the divider's consumer.
+        assert stats.committed == 10
+        mem_spec = stats.get("issued_spec")
+        # Non-mem windows may still speculate the ALU ops; ensure no load
+        # did so by re-running with mem allowed and comparing cycles.
+        stats_mem, _ = run_trace(make_specino_config(2, 1, mem=True), [
+            div(1), alu(2, (1,))] + [
+            load(3 + i % 4, 15, 0x4000 + 64 * i) for i in range(8)])
+        assert stats_mem.cycles <= stats.cycles
+
+    def test_mem_speculation_extracts_mlp(self):
+        """Loads behind a stalled consumer overlap their misses only in
+        the All-Types model."""
+        trace = [div(1), alu(2, (1,))] + [
+            load(3 + i % 4, 15, 0x10000 + 4096 * i) for i in range(6)]
+        allt, _ = run_trace(make_specino_config(2, 1, mem=True), list(trace))
+        nonm, _ = run_trace(make_specino_config(2, 1, mem=False), list(trace))
+        assert allt.cycles < nonm.cycles
+
+    def test_window_slides_on_empty(self):
+        # A long non-ready prefix: the window must slide past it and find
+        # the ready tail.
+        trace = [div(1)] + [alu(2, (1,)), alu(3, (2,)), alu(4, (3,))] \
+            + independent_ops(8, start_reg=5)
+        stats, _ = run_trace(make_specino_config(2, 1), trace)
+        assert stats.get("issued_spec") >= 4
+
+    def test_oracle_disambiguation_no_violations(self):
+        trace = [div(1), store(1, 14, 0xC000), load(2, 15, 0xC000)]
+        stats, _ = run_trace(make_specino_config(2, 1), trace)
+        assert stats.get("mem_order_violations") == 0
+        assert stats.get("squashes") == 0
+        assert stats.committed == 3

@@ -1,0 +1,76 @@
+"""Stats counters and derived metrics."""
+
+import pytest
+
+from repro.common.stats import Stats, geomean, normalize
+
+
+class TestStats:
+    def test_counters_default_zero(self):
+        s = Stats()
+        assert s.get("nothing") == 0.0
+        assert s["nothing"] == 0.0
+        assert "nothing" not in s
+
+    def test_add_and_get(self):
+        s = Stats()
+        s.add("x")
+        s.add("x", 2.5)
+        assert s.get("x") == 3.5
+        assert "x" in s
+
+    def test_ipc(self):
+        s = Stats()
+        s.add("committed", 100)
+        s.add("cycles", 50)
+        assert s.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert Stats().ipc == 0.0
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_rate(self):
+        s = Stats()
+        s.add("hits", 30)
+        s.add("accesses", 60)
+        assert s.rate("hits", "accesses") == 0.5
+        assert s.rate("hits", "missing") == 0.0
+
+    def test_subset(self):
+        s = Stats()
+        s.add("l1d_hits")
+        s.add("l1d_misses")
+        s.add("l2_hits")
+        assert set(s.subset(["l1d"])) == {"l1d_hits", "l1d_misses"}
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_singleton(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestNormalize:
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")

@@ -1,0 +1,82 @@
+"""Schedule recording and timeline rendering."""
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config, make_ooo_config
+from repro.cores import build_core
+from repro.harness.timeline import issue_order, render_timeline
+from tests.util import alu, div, independent_ops, with_pcs
+
+
+def _snippet():
+    return with_pcs([div(1), alu(2, (1,))] + independent_ops(6, start_reg=3))
+
+
+class TestScheduleRecording:
+    def test_disabled_by_default(self):
+        core = build_core(make_ino_config())
+        core.run(_snippet(), warm_icache=True)
+        assert core.schedule is None
+
+    def test_one_entry_per_commit(self):
+        core = build_core(make_ino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        assert len(core.schedule) == 8
+        assert [e[0] for e in core.schedule] == list(range(8))
+
+    def test_commit_times_monotone(self):
+        core = build_core(make_casino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        commits = [e[4] for e in core.schedule]
+        assert commits == sorted(commits)
+
+    def test_ino_issue_order_is_program_order(self):
+        core = build_core(make_ino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        assert issue_order(core.schedule) == list(range(8))
+
+    def test_ooo_issues_past_the_stall(self):
+        core = build_core(make_ooo_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        order = issue_order(core.schedule)
+        # The divider's consumer (seq 1) issues after the independent work.
+        assert order.index(1) > order.index(2)
+
+    def test_casino_matches_ooo_schedule_shape(self):
+        ooo = build_core(make_ooo_config())
+        ooo.run(_snippet(), warm_icache=True, record_schedule=True)
+        cas = build_core(make_casino_config())
+        cas.run(_snippet(), warm_icache=True, record_schedule=True)
+        assert issue_order(cas.schedule)[-1] == 1  # chain consumer last
+        assert issue_order(ooo.schedule)[-1] == 1
+
+
+class TestRendering:
+    def test_render_contains_markers(self):
+        core = build_core(make_ino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        text = render_timeline(core.schedule)
+        assert "i" in text and "C" in text
+        assert text.count("\n") == 8  # header + one row per instruction
+
+    def test_render_empty(self):
+        assert render_timeline([]) == "(empty schedule)"
+
+    def test_spec_tagging(self):
+        core = build_core(make_casino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        tagged = render_timeline(core.schedule, tag_spec=True)
+        assert "*" in tagged
+
+    def test_scaling_long_runs(self):
+        trace = with_pcs([div(i % 8 + 1) for i in range(40)])
+        core = build_core(make_ino_config())
+        core.run(trace, warm_icache=True, record_schedule=True)
+        text = render_timeline(core.schedule, width=32)
+        assert "cycles/char" in text.splitlines()[0]
+
+    def test_windowing(self):
+        core = build_core(make_ino_config())
+        core.run(_snippet(), warm_icache=True, record_schedule=True)
+        text = render_timeline(core.schedule, first=4, count=2)
+        assert text.count("\n") == 2

@@ -1,0 +1,86 @@
+"""Load->load ordering via cache-line sentinels (Section III-C4, TSO).
+
+A speculatively-issued CASINO load pins its cache line; the hierarchy
+withholds invalidation acknowledgements from (simulated) remote stores
+until the load commits — enforcing total store ordering without LQ
+searches.
+"""
+
+import pytest
+
+from repro.common.params import MemoryConfig, make_casino_config
+from repro.common.stats import Stats
+from repro.cores import build_core
+from repro.memory.hierarchy import MemoryHierarchy
+from tests.util import alu, div, load, run_trace, with_pcs
+
+
+class TestLineSentinels:
+    def test_pin_blocks_invalidation(self):
+        hier = MemoryHierarchy(MemoryConfig(), Stats())
+        hier.load(0x4000, 0)
+        hier.add_line_sentinel(0x4000)
+        assert hier.invalidate(0x4000, 10) is False
+        assert hier.stats.get("invalidation_nacks") == 1
+
+    def test_unpin_allows_invalidation_and_evicts(self):
+        hier = MemoryHierarchy(MemoryConfig(), Stats())
+        hier.load(0x4000, 0)
+        hier.add_line_sentinel(0x4000)
+        hier.remove_line_sentinel(0x4000)
+        assert hier.invalidate(0x4000, 10) is True
+        assert not hier.l1d.contains(0x4000)
+
+    def test_pins_are_counted(self):
+        hier = MemoryHierarchy(MemoryConfig(), Stats())
+        hier.add_line_sentinel(0x4000)
+        hier.add_line_sentinel(0x4008)  # same line, second load
+        hier.remove_line_sentinel(0x4000)
+        assert hier.invalidate(0x4000, 0) is False  # still one pin
+        hier.remove_line_sentinel(0x4008)
+        assert hier.invalidate(0x4000, 0) is True
+
+    def test_unpinned_line_acks_immediately(self):
+        hier = MemoryHierarchy(MemoryConfig(), Stats())
+        assert hier.invalidate(0x9000, 0) is True
+
+
+class TestCasinoTso:
+    def test_speculative_load_pins_until_commit(self):
+        """While a speculative load is in flight its line is pinned; after
+        the run everything is unpinned."""
+        trace = [div(1), alu(2, (1,)), load(3, 15, 0x4000)]
+        stats, core = run_trace(make_casino_config(), trace)
+        assert not core.hier.line_sentinels
+        assert not core.lsu._line_pins
+
+    def test_squash_unpins(self):
+        from tests.util import store
+        trace = ([div(1), store(1, 14, 0xC000), load(2, 15, 0xC000),
+                  load(3, 15, 0x5000)]
+                 + [alu(4 + i % 4, (2,)) for i in range(6)])
+        import dataclasses
+        cfg = dataclasses.replace(make_casino_config(),
+                                  disambiguation="nolq")
+        stats, core = run_trace(cfg, trace)
+        assert stats.get("squashes") >= 1
+        assert not core.hier.line_sentinels  # unwound across the squash
+
+    def test_mid_flight_pin_observable(self):
+        """Drive the core manually and check the pin exists while the
+        speculative load is outstanding."""
+        core = build_core(make_casino_config())
+        trace = with_pcs([div(1), alu(2, (1,)), load(3, 15, 0x4000)])
+        core.reset(trace)
+        pinned_during_flight = False
+        for cycle in range(400):
+            core.cycle = cycle
+            core.fu.reset()
+            core._step(cycle)
+            core.fetch.tick(cycle)
+            if core.hier.line_sentinels:
+                pinned_during_flight = True
+            if core.fetch.drained and core.pipeline_empty():
+                break
+        assert pinned_during_flight
+        assert not core.hier.line_sentinels

@@ -1,0 +1,122 @@
+"""Synthetic workload generator and the 25-app suite."""
+
+import pytest
+
+from repro.common.params import NUM_ARCH_REGS
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+from repro.workloads.suite import SPEC_FP, SPEC_INT, SUITE, get_profile, suite_profiles
+
+
+class TestSuite:
+    def test_25_applications(self):
+        assert len(SPEC_INT) == 12
+        assert len(SPEC_FP) == 13
+        assert len(SUITE) == 25
+
+    def test_paper_anchor_apps_present(self):
+        for name in ("mcf", "h264ref", "cactusADM", "libquantum", "hmmer"):
+            assert name in SUITE
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_subsets(self):
+        assert len(suite_profiles("int")) == 12
+        assert len(suite_profiles("fp")) == 13
+        assert len(suite_profiles("all")) == 25
+        with pytest.raises(ValueError):
+            suite_profiles("bogus")
+
+    def test_fp_apps_generate_fp_ops(self):
+        trace = SyntheticWorkload(get_profile("bwaves")).generate(2000)
+        assert any(d.op.is_fp for d in trace)
+
+    def test_int_apps_generate_no_fp(self):
+        trace = SyntheticWorkload(get_profile("mcf")).generate(2000)
+        assert not any(d.op.is_fp for d in trace)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        p = get_profile("gcc")
+        a = SyntheticWorkload(p).generate(1500)
+        b = SyntheticWorkload(p).generate(1500)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert (x.pc, x.op, x.srcs, x.dst, x.mem_addr, x.taken) == \
+                   (y.pc, y.op, y.srcs, y.dst, y.mem_addr, y.taken)
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+        p = get_profile("gcc")
+        q = dataclasses.replace(p, seed=p.seed + 1)
+        a = SyntheticWorkload(p).generate(500)
+        b = SyntheticWorkload(q).generate(500)
+        assert any(x.pc != y.pc or x.mem_addr != y.mem_addr
+                   for x, y in zip(a, b))
+
+    def test_requested_length(self):
+        trace = SyntheticWorkload(get_profile("sjeng")).generate(1234)
+        assert len(trace) == 1234
+
+    def test_registers_in_range(self):
+        trace = SyntheticWorkload(get_profile("povray")).generate(3000)
+        for d in trace:
+            for r in d.srcs:
+                assert 0 <= r < NUM_ARCH_REGS
+            if d.dst is not None:
+                assert 0 <= d.dst < NUM_ARCH_REGS
+
+    def test_memory_ops_have_addresses(self):
+        trace = SyntheticWorkload(get_profile("milc")).generate(3000)
+        for d in trace:
+            if d.is_mem:
+                assert d.mem_addr is not None and d.mem_addr > 0
+            else:
+                assert d.mem_addr is None
+
+    def test_branches_have_targets_when_taken(self):
+        trace = SyntheticWorkload(get_profile("gobmk")).generate(3000)
+        takens = [d for d in trace if d.is_branch and d.taken]
+        assert takens
+        assert all(d.target is not None for d in takens)
+
+    def test_mem_fraction_roughly_matches_profile(self):
+        p = get_profile("h264ref")
+        trace = SyntheticWorkload(p).generate(12_000)
+        mem = sum(1 for d in trace if d.is_mem)
+        nonbranch = sum(1 for d in trace if not d.is_branch)
+        assert abs(mem / nonbranch - p.frac_mem) < 0.15
+
+    def test_pc_recurrence_for_predictors(self):
+        """The static-loop structure repeats PCs (predictors need this)."""
+        trace = SyntheticWorkload(get_profile("hmmer")).generate(6000)
+        pcs = {d.pc for d in trace}
+        assert len(pcs) < len(trace) / 4
+
+    def test_alias_pairs_reuse_store_addresses(self):
+        p = get_profile("h264ref")  # alias_frac = 0.30
+        trace = SyntheticWorkload(p).generate(8000)
+        store_addrs = set()
+        aliased = 0
+        for d in trace:
+            if d.is_store:
+                store_addrs.add(d.mem_addr)
+            elif d.is_load and d.mem_addr in store_addrs:
+                aliased += 1
+        assert aliased > 20
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", frac_stream=0.9, frac_random=0.9,
+                            frac_chase=0.0)
+
+    def test_chase_streams_serialise_addresses(self):
+        p = get_profile("mcf")
+        workload = SyntheticWorkload(p)
+        trace = workload.generate(4000)
+        # Chase loads use the same register as src and dst.
+        chase = [d for d in trace
+                 if d.is_load and d.dst is not None and d.dst in d.srcs]
+        assert chase

@@ -1,0 +1,73 @@
+"""Dirty-line writeback behaviour."""
+
+import pytest
+
+from repro.common.params import CacheConfig, MemoryConfig, make_ino_config
+from repro.common.stats import Stats
+from repro.cores import build_core
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from tests.util import run_trace, store
+
+
+def make_cache(assoc=2, size_kib=1):
+    cfg = CacheConfig(size_kib=size_kib, assoc=assoc, line_bytes=64,
+                      latency=4, mshrs=8)
+    return Cache("l1d", cfg, lambda addr, cycle: 100, Stats())
+
+
+class TestDirtyTracking:
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache()
+        a, b, c = 0x0, 8 * 64, 16 * 64  # same set
+        for addr in (a, b, c):
+            cache.access(addr, 0)
+        assert cache.stats.get("l1d_writebacks") == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make_cache()
+        a, b, c = 0x0, 8 * 64, 16 * 64
+        cache.access(a, 0, is_write=True)
+        cache.access(b, 100)
+        cache.access(c, 200)  # evicts dirty a
+        assert cache.stats.get("l1d_writebacks") == 1
+
+    def test_writeback_clears_dirty_bit(self):
+        cache = make_cache()
+        a, b, c = 0x0, 8 * 64, 16 * 64
+        cache.access(a, 0, is_write=True)
+        cache.access(b, 100)
+        cache.access(c, 200)       # evict dirty a
+        cache.access(a, 300)       # re-fetch a, clean this time
+        cache.access(b, 400)
+        cache.access(c, 500)       # evict clean a: no second writeback
+        assert cache.stats.get("l1d_writebacks") == 1
+
+    def test_writeback_sink_used(self):
+        received = []
+        cfg = CacheConfig(size_kib=1, assoc=1, line_bytes=64, latency=4)
+        cache = Cache("l1d", cfg, lambda a, c: 100, Stats(),
+                      writeback_sink=lambda a, c: received.append(a) or 0)
+        cache.access(0x0, 0, is_write=True)
+        cache.access(16 * 64, 100)  # same (single-way) set: evict
+        assert received == [0x0]
+
+
+class TestHierarchyWritebacks:
+    def test_l1_writebacks_land_in_l2(self):
+        stats = Stats()
+        hier = MemoryHierarchy(MemoryConfig(), stats)
+        # Dirty a line, then blow it out of the 8-way L1 set.
+        victim = 0x10_0000
+        hier.store(victim, 0)
+        set_stride = 64 * hier.l1d.n_sets
+        for i in range(1, 10):
+            hier.load(victim + set_stride * i, 1000 * i)
+        assert stats.get("l1d_writebacks") >= 1
+        assert hier.l2.contains(victim)
+
+    def test_store_heavy_workload_counts_writebacks(self):
+        # Streaming stores over > L1-sized region force dirty evictions.
+        insts = [store(15, 14, 0x40_0000 + 64 * i) for i in range(768)]
+        stats, _ = run_trace(make_ino_config(), insts)
+        assert stats.get("l1d_writebacks") > 0

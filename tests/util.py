@@ -1,0 +1,57 @@
+"""Shared helpers for core-model tests: tiny hand-crafted traces."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cores import build_core
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def alu(dst: int, srcs: Sequence[int] = (), pc: int = 0) -> DynInst:
+    return DynInst(pc=pc, op=OpClass.INT_ALU, srcs=tuple(srcs), dst=dst)
+
+
+def div(dst: int, srcs: Sequence[int] = (), pc: int = 0) -> DynInst:
+    """A 12-cycle operation: the portable 'long latency producer'."""
+    return DynInst(pc=pc, op=OpClass.INT_DIV, srcs=tuple(srcs), dst=dst)
+
+
+def load(dst: int, base: int, addr: int, pc: int = 0) -> DynInst:
+    return DynInst(pc=pc, op=OpClass.LOAD, srcs=(base,), dst=dst,
+                   mem_addr=addr, mem_size=8)
+
+
+def store(base: int, data: int, addr: int, pc: int = 0) -> DynInst:
+    return DynInst(pc=pc, op=OpClass.STORE, srcs=(base, data),
+                   mem_addr=addr, mem_size=8)
+
+
+def with_pcs(insts: List[DynInst], base: int = 0x1000) -> List[DynInst]:
+    """Assign sequential PCs (the helpers default everything to pc=0)."""
+    for i, inst in enumerate(insts):
+        inst.pc = base + 4 * i
+    return insts
+
+
+def run_trace(cfg, insts: List[DynInst], max_cycles: int = 500_000):
+    """Build the core for ``cfg``, run the trace (warm I-cache), return
+    (stats, core)."""
+    core = build_core(cfg)
+    stats = core.run(with_pcs(insts), max_cycles=max_cycles,
+                     warm_icache=True)
+    return stats, core
+
+
+def serial_chain(n: int, reg: int = 1) -> List[DynInst]:
+    """n ALU ops, each reading the previous one's result."""
+    out = [alu(reg)]
+    for _ in range(n - 1):
+        out.append(alu(reg, (reg,)))
+    return out
+
+
+def independent_ops(n: int, start_reg: int = 1, spread: int = 8) -> List[DynInst]:
+    """n ALU ops with no mutual dependences (registers rotate)."""
+    return [alu(start_reg + (i % spread)) for i in range(n)]
