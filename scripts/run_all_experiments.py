@@ -2,62 +2,22 @@
 """Regenerate every figure of the paper on the full 25-application suite
 and dump the results (used to fill in EXPERIMENTS.md).
 
-Run:  python scripts/run_all_experiments.py [output.txt]
+Run:  python scripts/run_all_experiments.py [output.txt] [--no-resume]
+          [--checkpoint PATH] [--retries N] [--sanitize]
+
+The sweep is resumable and failure-tolerant: each completed figure is
+checkpointed to ``<output>.ckpt.json`` (kill it mid-sweep and re-run to
+continue), and an app whose simulation fails is retried with a fresh
+trace seed, then excluded from that figure's aggregate with an explicit
+report instead of aborting the sweep.  ``REPRO_QUICK=1`` shrinks the
+suite to 8 apps and ``REPRO_N_INSTRS``/``REPRO_WARMUP`` shrink the traces
+(CI smoke); ``REPRO_SANITIZE=1`` or ``--sanitize`` turns on the invariant
+sanitizer.  See ``repro.experiments.sweep`` for the driver.
 """
 
-import io
 import sys
-import time
-from contextlib import redirect_stdout
 
-from repro.experiments import (
-    fig2_specino_potential,
-    fig6_ipc,
-    fig7_renaming,
-    fig8_memdisambig,
-    fig9_area_energy,
-    fig10_design_space,
-    fig11_wider_issue,
-)
-from repro.experiments.common import make_runner
-from repro.workloads.suite import suite_profiles
-
-
-def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
-    runner = make_runner()
-    profiles = suite_profiles("all")
-    buffer = io.StringIO()
-    modules = [
-        ("Figure 2", lambda: fig2_specino_potential.run(runner, profiles)),
-        ("Figure 6", lambda: fig6_ipc.run(runner, profiles)),
-        ("Figure 7", lambda: fig7_renaming.run(runner, profiles)),
-        ("Figure 8", lambda: fig8_memdisambig.run(runner, profiles)),
-        ("Figure 9", lambda: fig9_area_energy.run(runner, profiles)),
-        ("Figure 10a", lambda: fig10_design_space.run_iq_sweep(runner, profiles)),
-        ("Figure 10b", lambda: fig10_design_space.run_ws_so_sweep(runner, profiles)),
-        ("Figure 11", lambda: fig11_wider_issue.run(runner, profiles)),
-    ]
-    for name, fn in modules:
-        start = time.time()
-        result = fn()
-        elapsed = time.time() - start
-        line = f"=== {name} ({elapsed:.0f}s) ==="
-        print(line)
-        buffer.write(line + "\n")
-        if name == "Figure 9":
-            result = {k: {kk: vv for kk, vv in v.items()
-                          if kk not in ("groups", "area_groups")}
-                      for k, v in result.items()}
-        for key, value in result.items():
-            row = f"{key}: {value}"
-            print(row)
-            buffer.write(row + "\n")
-        buffer.write("\n")
-    with open(out_path, "w") as fh:
-        fh.write(buffer.getvalue())
-    print(f"\nwrote {out_path}")
-
+from repro.experiments.sweep import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -6,6 +6,7 @@ Commands
 ``run --core X --app Y``     simulate one (core, app) pair and print stats
 ``compare --app Y``          all Table I cores on one application
 ``figure figN``              regenerate one figure of the paper
+``sweep [out.txt]``          all figures, checkpointed + failure-tolerant
 """
 
 from __future__ import annotations
@@ -60,7 +61,8 @@ def _cmd_run(args) -> int:
         cfg = load_core_config(args.config)
     else:
         cfg = _CORES[args.core]()
-    runner = Runner(n_instrs=args.n, warmup=args.warmup)
+    runner = Runner(n_instrs=args.n, warmup=args.warmup,
+                    sanitize=True if args.sanitize else None)
     res = runner.run(cfg, get_profile(args.app))
     stats = res.stats
     print(f"{args.core} on {args.app}: IPC {res.ipc:.3f} "
@@ -77,7 +79,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    runner = Runner(n_instrs=args.n, warmup=args.warmup)
+    runner = Runner(n_instrs=args.n, warmup=args.warmup,
+                    sanitize=True if args.sanitize else None)
     profile = get_profile(args.app)
     rows = []
     base = None
@@ -121,6 +124,13 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import run_cli
+    return run_cli(output=args.output, checkpoint=args.checkpoint,
+                   resume=not args.no_resume, retries=args.retries,
+                   sanitize=True if args.sanitize else None)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="CASINO core reproduction (HPCA 2020)")
@@ -135,11 +145,15 @@ def main(argv=None) -> int:
     run_p.add_argument("--app", default="milc")
     run_p.add_argument("-n", type=int, default=24_000)
     run_p.add_argument("--warmup", type=int, default=6_000)
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="check microarchitectural invariants every cycle")
 
     cmp_p = sub.add_parser("compare", help="all cores on one application")
     cmp_p.add_argument("--app", default="milc")
     cmp_p.add_argument("-n", type=int, default=24_000)
     cmp_p.add_argument("--warmup", type=int, default=6_000)
+    cmp_p.add_argument("--sanitize", action="store_true",
+                       help="check microarchitectural invariants every cycle")
 
     char_p = sub.add_parser("characterize",
                             help="measure a synthetic application's trace")
@@ -151,10 +165,23 @@ def main(argv=None) -> int:
     fig_p.add_argument("--json", metavar="PATH", default=None,
                        help="write raw results as JSON instead of a table")
 
+    sweep_p = sub.add_parser(
+        "sweep", help="run every figure with checkpointing and retries")
+    sweep_p.add_argument("output", nargs="?", default="experiments_out.txt")
+    sweep_p.add_argument("--checkpoint", metavar="PATH", default=None,
+                         help="checkpoint file (default <output>.ckpt.json)")
+    sweep_p.add_argument("--no-resume", action="store_true",
+                         help="discard any existing checkpoint and restart")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="retry-with-reseed attempts per failed run")
+    sweep_p.add_argument("--sanitize", action="store_true",
+                         help="check microarchitectural invariants every cycle")
+
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run,
             "compare": _cmd_compare, "figure": _cmd_figure,
-            "characterize": _cmd_characterize}[args.command](args)
+            "characterize": _cmd_characterize,
+            "sweep": _cmd_sweep}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -65,6 +65,9 @@ class CoreConfig:
     specino_so: int = 1     # SpecInO sliding offset
     specino_mem: bool = True  # SpecInO issues memory ops speculatively ("All Types")
 
+    # Run-loop guards.
+    deadlock_cycles: int = 100_000  # watchdog: max cycles between commits
+
     # Instruction window / in-order write-back resources.
     rob_size: int = 32
     scb_size: int = 4          # InO scoreboard (in-flight completion window)

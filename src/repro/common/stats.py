@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
 
 
 class Stats:
@@ -75,7 +75,15 @@ class Stats:
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (0 if the iterable is empty)."""
+    """Geometric mean of strictly positive values (0 if the iterable is
+    empty).
+
+    A zero or negative input raises ``ValueError`` — a degraded run (IPC 0
+    from a failed simulation) must be handled *explicitly* at the call
+    site, either by excluding the app before aggregating (what
+    :class:`~repro.harness.resilience.ResilientRunner` does) or by using
+    :func:`partial_geomean`, which reports how much it dropped.
+    """
     total = 0.0
     count = 0
     for value in values:
@@ -86,6 +94,25 @@ def geomean(values: Iterable[float]) -> float:
     if count == 0:
         return 0.0
     return math.exp(total / count)
+
+
+def partial_geomean(values: Iterable[float]) -> Tuple[float, int]:
+    """Geometric mean of the positive entries of ``values``.
+
+    Returns ``(geomean, n_excluded)`` where ``n_excluded`` counts the
+    zero/negative entries (failed or degraded runs) that were dropped.
+    Use this where a partial aggregate with an explicit exclusion count is
+    better than aborting the sweep; use :func:`geomean` where a
+    nonpositive value is a genuine error.
+    """
+    kept = []
+    excluded = 0
+    for value in values:
+        if value > 0.0:
+            kept.append(value)
+        else:
+            excluded += 1
+    return geomean(kept), excluded
 
 
 def normalize(results: Mapping[str, float], baseline: str) -> Dict[str, float]:

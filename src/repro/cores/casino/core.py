@@ -23,6 +23,8 @@ from typing import Deque, List
 from repro.common.params import (
     DISAMBIG_AGI_ORDERING,
     DISAMBIG_FULLY_OOO,
+    NUM_FP_ARCH,
+    NUM_INT_ARCH,
     RENAME_CONDITIONAL,
 )
 from repro.cores.casino.lsu import CasinoLsu
@@ -57,6 +59,24 @@ class CasinoCore(CoreModel):
                 f"rob={len(self.rob)} sq={len(self.lsu.sq)} "
                 f"free=({self.renamer.free_int},{self.renamer.free_fp}) "
                 f"dbuf={self.dbuf_used}")
+
+    def _occupancy(self):
+        cfg = self.cfg
+        occ = {}
+        for i, (queue, cap) in enumerate(zip(self.queues, self.queue_sizes)):
+            name = "iq" if i == len(self.queues) - 1 else f"siq{i}"
+            occ[name] = (len(queue), cap)
+        occ["rob"] = (len(self.rob), cfg.rob_size)
+        occ["sq_sb"] = (len(self.lsu.sq), cfg.sq_sb_size)
+        occ["dbuf"] = (self.dbuf_used, cfg.data_buffer_size)
+        renamer = self.renamer
+        occ["prf_int"] = (cfg.prf_int - NUM_INT_ARCH - renamer.free_int,
+                          cfg.prf_int - NUM_INT_ARCH)
+        occ["prf_fp"] = (cfg.prf_fp - NUM_FP_ARCH - renamer.free_fp,
+                         cfg.prf_fp - NUM_FP_ARCH)
+        if self.lsu.mode == DISAMBIG_FULLY_OOO:
+            occ["lq"] = (len(self.lsu.lq), cfg.lq_size)
+        return occ
 
     # -- cycle ----------------------------------------------------------------
 

@@ -27,6 +27,14 @@ class FreewayCore(LoadSliceCore):
     def pipeline_empty(self) -> bool:
         return super().pipeline_empty() and not self.yiq
 
+    def _debug_state(self) -> str:  # pragma: no cover
+        return f"{super()._debug_state()} yiq={list(self.yiq)[:3]}"
+
+    def _occupancy(self):
+        occ = super()._occupancy()
+        occ["yiq"] = (len(self.yiq), self.cfg.yiq_size)
+        return occ
+
     def _issue(self, cycle: int) -> None:
         budget = self.cfg.width
         budget = self._issue_queue(self.biq, cycle, budget, "b")

@@ -32,6 +32,11 @@ class InOrderCore(CoreModel):
         return (f"iq={list(self.iq)[:4]} scb={list(self.scb)[:4]} "
                 f"sb={len(self.sb)}")
 
+    def _occupancy(self):
+        return {"iq": (len(self.iq), self.cfg.iq_size),
+                "scb": (len(self.scb), self.cfg.scb_size),
+                "sb": (len(self.sb), self.cfg.sq_sb_size)}
+
     # -- pipeline stages -----------------------------------------------------
 
     def _step(self, cycle: int) -> None:

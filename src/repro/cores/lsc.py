@@ -59,7 +59,13 @@ class LoadSliceCore(CoreModel):
 
     def _debug_state(self) -> str:  # pragma: no cover
         return (f"biq={list(self.biq)[:3]} aiq={list(self.aiq)[:3]} "
-                f"rob={len(self.rob)}")
+                f"rob={len(self.rob)} sb={len(self.sb)}")
+
+    def _occupancy(self):
+        return {"biq": (len(self.biq), self.cfg.biq_size),
+                "aiq": (len(self.aiq), self.cfg.aiq_size),
+                "rob": (len(self.rob), self.cfg.rob_size),
+                "sb": (len(self.sb), self.cfg.sq_sb_size)}
 
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)

@@ -83,6 +83,21 @@ class OutOfOrderCore(CoreModel):
                 f"lq={len(self.lq)} sq={len(self.sq)} "
                 f"free=({self.free_int},{self.free_fp})")
 
+    def _occupancy(self):
+        cfg = self.cfg
+        occ = {
+            "rob": (len(self.rob), cfg.rob_size),
+            "iq": (len(self.iq), cfg.iq_size),
+            "sq_sb": (len(self.sq), cfg.sq_sb_size),
+            "prf_int": (cfg.prf_int - NUM_INT_ARCH - self.free_int,
+                        cfg.prf_int - NUM_INT_ARCH),
+            "prf_fp": (cfg.prf_fp - NUM_FP_ARCH - self.free_fp,
+                       cfg.prf_fp - NUM_FP_ARCH),
+        }
+        if not self.nolq:
+            occ["lq"] = (len(self.lq), cfg.lq_size)
+        return occ
+
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)
         self._commit(cycle)

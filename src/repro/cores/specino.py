@@ -33,6 +33,16 @@ class SpecInOCore(CoreModel):
     def pipeline_empty(self) -> bool:
         return not self.iq and not self.window and not self.sb
 
+    def _debug_state(self) -> str:  # pragma: no cover
+        return (f"iq={list(self.iq)[:4]} window={self.window[:4]} "
+                f"sb={len(self.sb)} spec_pos={self.spec_pos} "
+                f"next_commit={self.next_commit}")
+
+    def _occupancy(self):
+        return {"iq": (len(self.iq), self.cfg.iq_size),
+                "window": (len(self.window), self.cfg.rob_size),
+                "sb": (len(self.sb), self.cfg.sq_sb_size)}
+
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)
         self._commit(cycle)

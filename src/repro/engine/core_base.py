@@ -26,7 +26,17 @@ from repro.memory.hierarchy import MemoryHierarchy
 
 
 class SimulationError(RuntimeError):
-    """Raised when a simulation deadlocks or exceeds its cycle budget."""
+    """Raised when a simulation deadlocks, exceeds its cycle budget or
+    violates an architectural invariant.
+
+    ``details`` carries a structured snapshot (core name, cycle, debug
+    state, ...) so harness layers can log actionable diagnostics instead
+    of a bare message string.
+    """
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message)
+        self.details: Dict[str, object] = dict(details)
 
 
 class InflightInst:
@@ -115,6 +125,9 @@ class CoreModel:
         self.fetch: Optional[FetchUnit] = None
         self.fu: Optional[FuPool] = None
         self.last_writer: Dict[int, InflightInst] = {}
+        # Optional resilience hooks, armed per-run by :meth:`run`.
+        self.sanitizer = None      # repro.engine.sanitizer.Sanitizer
+        self.faults = None         # repro.engine.faults.FaultInjector
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -136,7 +149,8 @@ class CoreModel:
 
     def run(self, trace: Sequence[DynInst], max_cycles: int = 50_000_000,
             warmup: int = 0, warm_icache: bool = False,
-            record_schedule: bool = False) -> Stats:
+            record_schedule: bool = False, sanitize=None, faults=None,
+            deadlock_cycles: Optional[int] = None) -> Stats:
         """Simulate the whole trace; returns the statistics bag.
 
         ``warmup`` discards the counters accumulated while committing the
@@ -146,7 +160,21 @@ class CoreModel:
         whose timing should not include cold instruction fetch).
         ``record_schedule`` keeps a per-instruction (issue, complete,
         commit) log for :mod:`repro.harness.timeline` rendering.
+        ``sanitize`` enables the microarchitectural invariant sanitizer:
+        ``True``/``False`` force it, a :class:`~repro.engine.sanitizer.
+        Sanitizer` instance is used as-is, and ``None`` defers to the
+        ``REPRO_SANITIZE`` environment variable.  The sanitizer only reads
+        simulator state, so enabling it never changes timing.
+        ``faults`` optionally installs a deterministic
+        :class:`~repro.engine.faults.FaultInjector` (self-test machinery).
+        ``deadlock_cycles`` overrides ``cfg.deadlock_cycles``, the watchdog
+        threshold on cycles between commits.
         """
+        from repro.engine.sanitizer import resolve_sanitizer
+        self.sanitizer = resolve_sanitizer(sanitize)
+        self.faults = faults
+        watchdog = (deadlock_cycles if deadlock_cycles is not None
+                    else self.cfg.deadlock_cycles)
         self.schedule = [] if record_schedule else None
         self.reset(trace)
         if warm_icache:
@@ -159,19 +187,32 @@ class CoreModel:
             self.cycle = cycle
             self.fu.reset()
             self._step(cycle)
+            if self.faults is not None:
+                self.faults.on_cycle(self, cycle)
+            if self.sanitizer is not None:
+                self.sanitizer.check_cycle(self, cycle)
             self.fetch.tick(cycle)
             cycle += 1
             if (warmup and warm_snapshot is None
                     and self.stats.counters.get("committed", 0) >= warmup):
                 warm_snapshot = dict(self.stats.counters)
                 warm_cycle = cycle
-            if cycle - self._last_commit_cycle > 100_000:
+            if cycle - self._last_commit_cycle > watchdog:
                 raise SimulationError(
-                    f"{self.cfg.name}: no commit for 100000 cycles at "
-                    f"cycle {cycle} (deadlock?) - {self._debug_state()}")
+                    f"{self.cfg.name}: no commit for {watchdog} cycles at "
+                    f"cycle {cycle} (deadlock?) - {self._debug_state()}",
+                    core=self.cfg.name, check="deadlock_watchdog",
+                    cycle=cycle, last_commit_cycle=self._last_commit_cycle,
+                    committed=self.stats.counters.get("committed", 0),
+                    debug=self._debug_state())
             if cycle > max_cycles:
                 raise SimulationError(
-                    f"{self.cfg.name}: exceeded {max_cycles} cycles")
+                    f"{self.cfg.name}: exceeded {max_cycles} cycles - "
+                    f"{self._debug_state()}",
+                    core=self.cfg.name, check="cycle_budget", cycle=cycle,
+                    max_cycles=max_cycles,
+                    committed=self.stats.counters.get("committed", 0),
+                    debug=self._debug_state())
         self.stats.add("cycles", cycle)
         if warm_snapshot is not None:
             for key, value in warm_snapshot.items():
@@ -193,6 +234,15 @@ class CoreModel:
     def _debug_state(self) -> str:  # pragma: no cover - diagnostics only
         return ""
 
+    def _occupancy(self) -> Dict[str, tuple]:
+        """``{structure: (occupancy, capacity)}`` for the sanitizer.
+
+        Subclasses report every bounded structure they model (queues, ROB,
+        LSQ, free lists); the sanitizer asserts ``0 <= occupancy <=
+        capacity`` each cycle.
+        """
+        return {}
+
     # -- shared helpers ---------------------------------------------------------
 
     def make_entry(self, inst: DynInst) -> InflightInst:
@@ -206,6 +256,8 @@ class CoreModel:
         entry = InflightInst(inst, producers)
         if inst.dst is not None:
             self.last_writer[inst.dst] = entry
+        if self.faults is not None:
+            self.faults.on_entry(entry)
         return entry
 
     def note_commit(self, entry: InflightInst, cycle: int) -> None:
@@ -214,7 +266,13 @@ class CoreModel:
         if entry.seq != self._expected_commit_seq:
             raise SimulationError(
                 f"{self.cfg.name}: out-of-order commit: expected seq "
-                f"{self._expected_commit_seq}, got {entry.seq}")
+                f"{self._expected_commit_seq}, got {entry.seq} at cycle "
+                f"{cycle} - {self._debug_state()}",
+                core=self.cfg.name, check="program_order", cycle=cycle,
+                expected=self._expected_commit_seq, got=entry.seq,
+                debug=self._debug_state())
+        if self.sanitizer is not None:
+            self.sanitizer.check_commit(self, entry, cycle)
         self._expected_commit_seq = entry.seq + 1
         entry.committed = True
         self.stats.add("committed")

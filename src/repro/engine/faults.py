@@ -1,0 +1,95 @@
+"""Deterministic fault injection (resilience self-test machinery).
+
+The point of the deadlock watchdog and the invariant sanitizer is that a
+scheduling bug aborts a simulation with an actionable diagnostic instead of
+hanging or silently producing garbage.  This module *proves* those
+detectors work by perturbing a run on purpose: a :class:`FaultInjector`
+installed via ``core.run(..., faults=...)`` flips exactly one piece of
+microarchitectural state per configured :class:`Fault`, deterministically,
+keyed on the dynamic sequence number of a trace instruction.
+
+Fault classes and the detector expected to fire:
+
+===============  ==================================================  =============
+kind             perturbation                                        detector
+===============  ==================================================  =============
+``drop_wakeup``  clear ``done_at`` after completion was scheduled     watchdog
+``stuck_fill``   completion pushed out to the end of time             watchdog
+``corrupt_ready``mark an unissued instruction complete "now"          sanitizer
+``skip_commit``  the commit stream skips this sequence number         program-order
+===============  ==================================================  =============
+
+Injection happens from the run loop (after ``_step``) and at entry
+creation, so no core model carries fault-specific code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+#: Completion time that never arrives within any sane cycle budget.
+NEVER = 1 << 60
+
+FAULT_KINDS = ("drop_wakeup", "stuck_fill", "corrupt_ready", "skip_commit")
+
+
+@dataclass
+class Fault:
+    """One perturbation, armed on the instruction with trace seq ``seq``."""
+
+    kind: str
+    seq: int
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {FAULT_KINDS}")
+
+
+class FaultInjector:
+    """Applies a fixed list of faults to one simulation run."""
+
+    def __init__(self, faults: Iterable[Fault]) -> None:
+        self.faults: List[Fault] = list(faults)
+        self._entries: Dict[int, object] = {}
+
+    def on_entry(self, entry) -> None:
+        """Called by ``CoreModel.make_entry`` for every dispatched entry."""
+        # Key on the trace's seq so a corrupted entry.seq stays findable.
+        self._entries[entry.inst.seq] = entry
+        for fault in self.faults:
+            if fault.fired or fault.seq != entry.inst.seq:
+                continue
+            if fault.kind == "skip_commit":
+                # The entry claims the next sequence number, so the commit
+                # stream appears to skip ``seq`` — the program-order check
+                # in note_commit must catch it.
+                entry.seq += 1
+                fault.fired = True
+
+    def on_cycle(self, core, cycle: int) -> None:
+        """Called once per simulated cycle, after ``_step``."""
+        for fault in self.faults:
+            if fault.fired:
+                continue
+            entry = self._entries.get(fault.seq)
+            if entry is None or entry.committed:
+                continue
+            if fault.kind == "drop_wakeup":
+                if entry.done_at is not None:
+                    entry.done_at = None
+                    fault.fired = True
+            elif fault.kind == "stuck_fill":
+                if entry.issue_at is not None:
+                    entry.done_at = NEVER
+                    fault.fired = True
+            elif fault.kind == "corrupt_ready":
+                if entry.issue_at is None:
+                    entry.done_at = cycle
+                    fault.fired = True
+
+    @property
+    def all_fired(self) -> bool:
+        return all(fault.fired for fault in self.faults)

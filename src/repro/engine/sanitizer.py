@@ -1,0 +1,180 @@
+"""Microarchitectural invariant sanitizer (resilience layer).
+
+A :class:`Sanitizer` is attached to a core for one run (``core.run(...,
+sanitize=True)`` or ``REPRO_SANITIZE=1``) and checks structural invariants
+every cycle plus architectural invariants at every commit.  All checks are
+strictly *read-only* — a sanitized run must produce bit-identical timing to
+an unsanitized one — and any violation raises a :class:`SanitizerError`
+carrying a structured diagnostic (core, cycle, check name, debug state).
+
+The default check set covers every core model:
+
+* **occupancy** — no bounded structure (IQ/S-IQ/ROB/LSQ/SCB/SB/free list/
+  data buffer) ever exceeds its configured capacity or goes negative,
+  via the per-core :meth:`CoreModel._occupancy` hook;
+* **counters** — event counters never go negative;
+* **rename** — no physical register is double-allocated and ProducerCount
+  sharing never exceeds its bound (cores with a renamer / free lists);
+* **timestamps** — per committed instruction, ``issue <= done <= commit``
+  and the instruction actually issued and completed;
+* **dataflow** — a committed instruction never issued before one of its
+  register producers completed (a corrupted ready bit shows up here);
+* **load order** — a load that recorded unresolved older stores committed
+  through the sentinel/OSCA value-check path, never around it.
+
+The check set is pluggable: pass ``Sanitizer(cycle_checks=[...],
+commit_checks=[...])`` with ``(name, fn)`` pairs, where a cycle check is
+``fn(core, cycle) -> Optional[str]`` and a commit check is ``fn(core,
+entry, cycle) -> Optional[str]``; a returned string is the violation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.core_base import SimulationError
+
+
+class SanitizerError(SimulationError):
+    """An invariant violation found by the sanitizer."""
+
+
+# -- cycle checks (structural state) ----------------------------------------
+
+def check_occupancy(core, cycle: int) -> Optional[str]:
+    for name, (used, cap) in core._occupancy().items():
+        if used < 0:
+            return f"{name} occupancy negative ({used})"
+        if used > cap:
+            return f"{name} occupancy {used} exceeds capacity {cap}"
+    return None
+
+
+def check_counters(core, cycle: int) -> Optional[str]:
+    for name, value in core.stats.counters.items():
+        if value < 0:
+            return f"counter {name!r} went negative ({value})"
+    return None
+
+
+def check_rename(core, cycle: int) -> Optional[str]:
+    """No double-allocation; ProducerCount within its bound."""
+    renamer = getattr(core, "renamer", None)
+    if renamer is None:
+        return None
+    limit = core.cfg.producer_count_max
+    for phys, count in renamer.pending.items():
+        if count < 0:
+            return f"ProducerCount of phys {phys} negative ({count})"
+        if count > limit:
+            return (f"ProducerCount of phys {phys} is {count}, "
+                    f"exceeds bound {limit}")
+    rob = getattr(core, "rob", ())
+    seen = set()
+    for entry in rob:
+        if not entry.fresh_phys or entry.phys is None:
+            continue
+        if entry.phys in seen:
+            return f"physical register {entry.phys} allocated twice"
+        seen.add(entry.phys)
+    return None
+
+
+# -- commit checks (per-instruction architectural contract) ------------------
+
+def check_timestamps(core, entry, cycle: int) -> Optional[str]:
+    if entry.issue_at is None:
+        return f"#{entry.seq} committed without ever issuing"
+    if entry.done_at is None:
+        return f"#{entry.seq} committed without completing"
+    if entry.issue_at > entry.done_at:
+        return (f"#{entry.seq} completed at {entry.done_at} before "
+                f"issuing at {entry.issue_at}")
+    if entry.done_at > cycle:
+        return (f"#{entry.seq} committed at cycle {cycle} before "
+                f"completing at {entry.done_at}")
+    return None
+
+
+def check_dataflow(core, entry, cycle: int) -> Optional[str]:
+    for producer in entry.producers:
+        if producer.done_at is None or (entry.issue_at is not None
+                                        and producer.done_at > entry.issue_at):
+            return (f"#{entry.seq} issued at {entry.issue_at} before its "
+                    f"producer #{producer.seq} completed "
+                    f"(done_at={producer.done_at})")
+    return None
+
+
+def check_load_order(core, entry, cycle: int) -> Optional[str]:
+    """Value-check contract: a speculative load that saw unresolved older
+    stores must hold a sentinel (CASINO-style LSUs only)."""
+    lsu = getattr(core, "lsu", None)
+    if lsu is None or not hasattr(lsu, "sentinels"):
+        return None
+    if (entry.inst.is_load and entry.unresolved_older
+            and entry.sentinel_on is None):
+        return (f"load #{entry.seq} committed past {len(entry.unresolved_older)}"
+                f" unresolved older store(s) without a sentinel")
+    return None
+
+
+DEFAULT_CYCLE_CHECKS: List[Tuple[str, Callable]] = [
+    ("occupancy", check_occupancy),
+    ("counters", check_counters),
+    ("rename", check_rename),
+]
+
+DEFAULT_COMMIT_CHECKS: List[Tuple[str, Callable]] = [
+    ("timestamps", check_timestamps),
+    ("dataflow", check_dataflow),
+    ("load_order", check_load_order),
+]
+
+
+class Sanitizer:
+    """Runs the configured invariant checks against a live core."""
+
+    def __init__(self,
+                 cycle_checks: Optional[List[Tuple[str, Callable]]] = None,
+                 commit_checks: Optional[List[Tuple[str, Callable]]] = None
+                 ) -> None:
+        self.cycle_checks = (list(cycle_checks) if cycle_checks is not None
+                             else list(DEFAULT_CYCLE_CHECKS))
+        self.commit_checks = (list(commit_checks) if commit_checks is not None
+                              else list(DEFAULT_COMMIT_CHECKS))
+
+    def check_cycle(self, core, cycle: int) -> None:
+        for name, check in self.cycle_checks:
+            violation = check(core, cycle)
+            if violation:
+                self._fail(core, cycle, name, violation)
+
+    def check_commit(self, core, entry, cycle: int) -> None:
+        for name, check in self.commit_checks:
+            violation = check(core, entry, cycle)
+            if violation:
+                self._fail(core, cycle, name, violation)
+
+    def _fail(self, core, cycle: int, check: str, violation: str) -> None:
+        debug = core._debug_state()
+        raise SanitizerError(
+            f"{core.cfg.name}: sanitizer[{check}] at cycle {cycle}: "
+            f"{violation} - {debug}",
+            core=core.cfg.name, check=check, cycle=cycle,
+            violation=violation, debug=debug)
+
+
+def resolve_sanitizer(sanitize) -> Optional[Sanitizer]:
+    """Map a ``run(sanitize=...)`` argument to a Sanitizer (or None).
+
+    ``None`` defers to the ``REPRO_SANITIZE`` environment variable;
+    ``True`` builds the default check set; an existing instance passes
+    through; anything falsy disables checking.
+    """
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "0") == "1"
+    if isinstance(sanitize, Sanitizer):
+        return sanitize
+    return Sanitizer() if sanitize else None

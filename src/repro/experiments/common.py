@@ -25,10 +25,32 @@ DEFAULT_N_INSTRS = 24_000
 DEFAULT_WARMUP = 6_000
 
 
-def make_runner(n_instrs: int = DEFAULT_N_INSTRS,
-                warmup: int = DEFAULT_WARMUP) -> Runner:
+def _env_lengths(n_instrs: Optional[int],
+                 warmup: Optional[int]) -> "tuple[int, int]":
+    """Resolve trace lengths, honouring REPRO_N_INSTRS / REPRO_WARMUP so CI
+    smoke sweeps can shrink every figure without touching driver code."""
+    if n_instrs is None:
+        n_instrs = int(os.environ.get("REPRO_N_INSTRS", DEFAULT_N_INSTRS))
+    if warmup is None:
+        warmup = int(os.environ.get("REPRO_WARMUP", DEFAULT_WARMUP))
+    return n_instrs, min(warmup, n_instrs // 4)
+
+
+def make_runner(n_instrs: Optional[int] = None,
+                warmup: Optional[int] = None) -> Runner:
     """A fresh memoising runner with the standard trace length."""
+    n_instrs, warmup = _env_lengths(n_instrs, warmup)
     return Runner(n_instrs=n_instrs, warmup=warmup)
+
+
+def make_resilient_runner(n_instrs: Optional[int] = None,
+                          warmup: Optional[int] = None, retries: int = 1,
+                          sanitize: Optional[bool] = None):
+    """A failure-containing runner for sweeps (see harness.resilience)."""
+    from repro.harness.resilience import ResilientRunner
+    n_instrs, warmup = _env_lengths(n_instrs, warmup)
+    return ResilientRunner(n_instrs=n_instrs, warmup=warmup,
+                           retries=retries, sanitize=sanitize)
 
 
 def quick_profiles() -> List[WorkloadProfile]:

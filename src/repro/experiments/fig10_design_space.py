@@ -14,7 +14,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import make_casino_config
-from repro.common.stats import geomean
+from repro.common.stats import partial_geomean
 from repro.experiments.common import default_profiles, make_runner
 from repro.harness.runner import Runner
 from repro.harness.tables import format_table
@@ -46,7 +46,7 @@ def run_iq_sweep(runner: Optional[Runner] = None,
             s_issue += res.stats.get("committed_s_issue")
             iq_issue += res.stats.get("committed_iq_issue")
         total = max(1.0, s_issue + iq_issue)
-        out[iq_size] = {"perf": geomean(ipcs),
+        out[iq_size] = {"perf": partial_geomean(ipcs)[0],
                         "s_issue_frac": s_issue / total,
                         "iq_issue_frac": iq_issue / total}
     base = out[IQ_SIZES[0]]["perf"]
@@ -65,7 +65,8 @@ def run_ws_so_sweep(runner: Optional[Runner] = None,
         cfg = dataclasses.replace(make_casino_config(),
                                   name=f"casino[{ws},{so}]",
                                   specino_ws=ws, specino_so=so)
-        out[(ws, so)] = geomean(runner.run(cfg, p).ipc for p in profiles)
+        out[(ws, so)] = partial_geomean(
+            runner.run(cfg, p).ipc for p in profiles)[0]
     base = out[WS_SO[0]]
     return {key: value / base for key, value in out.items()}
 

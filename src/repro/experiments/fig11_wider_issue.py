@@ -19,7 +19,7 @@ from repro.common.params import (
     make_ino_config,
     make_ooo_config,
 )
-from repro.common.stats import geomean
+from repro.common.stats import partial_geomean
 from repro.experiments.common import default_profiles, make_runner
 from repro.harness.runner import Runner
 from repro.harness.tables import format_table
@@ -41,7 +41,7 @@ def run(runner: Optional[Runner] = None,
                 res = runner.run(cfg, profile)
                 ipcs.append(res.ipc)
                 energies += res.energy.total_j
-            raw[(cfg.kind, width)] = {"perf": geomean(ipcs),
+            raw[(cfg.kind, width)] = {"perf": partial_geomean(ipcs)[0],
                                       "energy": energies}
     base = raw[("ino", 2)]
     out: Dict[Tuple[str, int], Dict[str, float]] = {}

@@ -20,7 +20,7 @@ from repro.common.params import (
     make_ino_config,
     make_ooo_config,
 )
-from repro.common.stats import geomean
+from repro.common.stats import partial_geomean
 from repro.experiments.common import default_profiles, make_runner
 from repro.harness.runner import Runner
 from repro.harness.tables import format_table
@@ -51,8 +51,12 @@ def run(runner: Optional[Runner] = None,
             ipcs.append(res.ipc)
             for group, joules in res.energy.by_group.items():
                 groups[group] = groups.get(group, 0.0) + joules
+        # Failed runs contribute IPC 0; aggregate the partial geomean
+        # rather than aborting the figure (exclusions are reported by the
+        # resilient sweep driver).
+        perf, _excluded = partial_geomean(ipcs)
         raw[cfg.name] = {"area": model.area_mm2(), "energy": energy,
-                         "perf": geomean(ipcs), "groups": groups,
+                         "perf": perf, "groups": groups,
                          "area_groups": model.area_by_group()}
     base = raw["ino"]
     out: Dict[str, Dict[str, float]] = {}

@@ -1,0 +1,148 @@
+"""Resilient, resumable all-figures experiment sweep.
+
+Drives every figure of the paper through a shared
+:class:`~repro.harness.resilience.ResilientRunner`, checkpointing each
+completed figure to JSON so a killed sweep resumes where it stopped, and
+reporting per-figure failures/exclusions instead of aborting.  Exposed
+both as ``python scripts/run_all_experiments.py`` and ``python -m repro
+sweep``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    fig2_specino_potential,
+    fig6_ipc,
+    fig7_renaming,
+    fig8_memdisambig,
+    fig9_area_energy,
+    fig10_design_space,
+    fig11_wider_issue,
+)
+from repro.experiments.common import default_profiles, make_resilient_runner
+from repro.harness.resilience import (
+    ResilientRunner,
+    SweepCheckpoint,
+    failure_report,
+)
+
+#: ``(figure name, fn(runner, profiles) -> result)`` in sweep order.
+FigureJob = Tuple[str, Callable]
+
+
+def default_jobs() -> List[FigureJob]:
+    return [
+        ("Figure 2", fig2_specino_potential.run),
+        ("Figure 6", fig6_ipc.run),
+        ("Figure 7", fig7_renaming.run),
+        ("Figure 8", fig8_memdisambig.run),
+        ("Figure 9", fig9_area_energy.run),
+        ("Figure 10a", fig10_design_space.run_iq_sweep),
+        ("Figure 10b", fig10_design_space.run_ws_so_sweep),
+        ("Figure 11", fig11_wider_issue.run),
+    ]
+
+
+def _printable(name: str, result) -> dict:
+    if name == "Figure 9":  # drop the bulky per-group breakdowns
+        return {k: {kk: vv for kk, vv in v.items()
+                    if kk not in ("groups", "area_groups")}
+                for k, v in result.items()}
+    return result
+
+
+def run_sweep(runner: ResilientRunner, profiles: Sequence,
+              checkpoint: SweepCheckpoint, out_path: Optional[str] = None,
+              jobs: Optional[List[FigureJob]] = None,
+              echo: Callable[[str], None] = print) -> dict:
+    """Run (or resume) the sweep; returns ``{figure: result}``.
+
+    Completed figures found in ``checkpoint`` are reused verbatim; each
+    newly computed figure is checkpointed (with its exclusion list) the
+    moment it finishes, so killing the process loses at most the figure in
+    flight.  A figure whose driver raises is reported and skipped — the
+    sweep always runs to the end.
+    """
+    jobs = jobs if jobs is not None else default_jobs()
+    buffer = io.StringIO()
+    results = {}
+
+    def emit(line: str) -> None:
+        echo(line)
+        buffer.write(line + "\n")
+
+    for name, fn in jobs:
+        if name in checkpoint:
+            entry = checkpoint.get(name)
+            results[name] = entry["result"]
+            emit(f"=== {name} (checkpointed) ===")
+            if entry.get("exclusions"):
+                emit(f"excluded apps: {entry['exclusions']}")
+        else:
+            start = time.time()
+            try:
+                result = fn(runner, profiles)
+            except Exception as exc:  # figure-level containment
+                failures, excluded = runner.drain()
+                emit(f"=== {name} FAILED: {exc!r} ===")
+                if failures:
+                    emit(failure_report(failures, excluded))
+                continue
+            elapsed = time.time() - start
+            failures, excluded = runner.drain()
+            checkpoint.put(name, result, exclusions=excluded,
+                           failures=[f.summary() for f in failures])
+            results[name] = result
+            emit(f"=== {name} ({elapsed:.0f}s) ===")
+            if failures:
+                emit(failure_report(failures, excluded))
+        for key, value in _printable(name, results[name]).items():
+            emit(f"{key}: {value}")
+        buffer.write("\n")
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(buffer.getvalue())
+        echo(f"\nwrote {out_path}")
+    return results
+
+
+def run_cli(output: str = "experiment_results.txt",
+            checkpoint: Optional[str] = None, resume: bool = True,
+            retries: int = 1, sanitize: Optional[bool] = None) -> int:
+    """Entry point shared by the script and ``python -m repro sweep``."""
+    ckpt = SweepCheckpoint(checkpoint or output + ".ckpt.json")
+    if not resume:
+        ckpt.clear()
+    elif ckpt.completed():
+        print(f"resuming: {len(ckpt.completed())} figure(s) checkpointed "
+              f"in {ckpt.path}")
+    runner = make_resilient_runner(retries=retries, sanitize=sanitize)
+    run_sweep(runner, default_profiles(), ckpt, out_path=output)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate every figure (resumable, failure-tolerant)")
+    parser.add_argument("output", nargs="?", default="experiment_results.txt")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="checkpoint file (default: <output>.ckpt.json)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="discard any existing checkpoint and restart")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="reseeded retries per failed run (default 1)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the invariant sanitizer enabled")
+    args = parser.parse_args(argv)
+    return run_cli(output=args.output, checkpoint=args.checkpoint,
+                   resume=not args.no_resume, retries=args.retries,
+                   sanitize=True if args.sanitize else None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,13 @@
 """Experiment harness: memoised runs, comparisons, tables, timelines,
-JSON export."""
+JSON export, failure containment and checkpointing."""
 
 from repro.harness.export import jsonable, read_json, write_json
+from repro.harness.resilience import (
+    FailureRecord,
+    ResilientRunner,
+    SweepCheckpoint,
+    failure_report,
+)
 from repro.harness.runner import RunResult, Runner
 from repro.harness.tables import format_bars, format_series, format_table
 from repro.harness.timeline import issue_order, render_timeline
@@ -9,6 +15,10 @@ from repro.harness.timeline import issue_order, render_timeline
 __all__ = [
     "Runner",
     "RunResult",
+    "ResilientRunner",
+    "FailureRecord",
+    "SweepCheckpoint",
+    "failure_report",
     "format_table",
     "format_series",
     "format_bars",

@@ -21,12 +21,18 @@ from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
 
 @dataclass
 class RunResult:
-    """One (core, application) simulation with derived metrics."""
+    """One (core, application) simulation with derived metrics.
+
+    ``failed`` marks a placeholder produced by the resilience layer for a
+    run that raised ``SimulationError`` (its stats are empty, IPC is 0).
+    """
 
     core: CoreConfig
     app: str
     stats: Stats
     energy: EnergyReport
+    failed: bool = False
+    error: Optional[str] = None
 
     @property
     def ipc(self) -> float:
@@ -37,34 +43,53 @@ def _cfg_key(cfg: CoreConfig) -> str:
     return repr(sorted(dataclasses.asdict(cfg).items()))
 
 
+def _mem_key(mem_cfg: Optional[MemoryConfig]) -> str:
+    # Snapshot the *current* field values: a mutated (or swapped) memory
+    # config must never serve results cached under the old hierarchy.
+    mem = mem_cfg if mem_cfg is not None else MemoryConfig()
+    return repr(sorted(dataclasses.asdict(mem).items()))
+
+
 class Runner:
-    """Caches traces and per-(core, app) results."""
+    """Caches traces and per-(core, memory, app) results."""
 
     def __init__(self, n_instrs: int = 24_000, warmup: int = 6_000,
-                 mem_cfg: Optional[MemoryConfig] = None) -> None:
+                 mem_cfg: Optional[MemoryConfig] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self.n_instrs = n_instrs
         self.warmup = warmup
         self.mem_cfg = mem_cfg
+        self.sanitize = sanitize
         self._traces: Dict[str, list] = {}
         self._results: Dict[tuple, RunResult] = {}
 
     def trace(self, profile: WorkloadProfile) -> list:
         """The (cached) dynamic trace for a workload profile."""
-        key = f"{profile.name}:{self.n_instrs}"
+        key = f"{profile.name}:{profile.seed}:{self.n_instrs}"
         if key not in self._traces:
             self._traces[key] = SyntheticWorkload(profile).generate(self.n_instrs)
         return self._traces[key]
 
+    def _result_key(self, cfg: CoreConfig, profile: WorkloadProfile) -> tuple:
+        return (_cfg_key(cfg), _mem_key(self.mem_cfg), profile.name,
+                profile.seed, self.n_instrs, self.warmup)
+
+    def _simulate(self, cfg: CoreConfig, profile: WorkloadProfile) -> RunResult:
+        """Uncached single simulation (the seam the resilience layer and
+        tests override to inject faults)."""
+        core = build_core(cfg, self.mem_cfg)
+        stats = core.run(self.trace(profile), warmup=self.warmup,
+                         sanitize=self.sanitize)
+        report = build_power_model(cfg).energy(stats)
+        return RunResult(core=cfg, app=profile.name, stats=stats,
+                         energy=report)
+
     def run(self, cfg: CoreConfig, profile: WorkloadProfile) -> RunResult:
         """Simulate ``profile`` on ``cfg`` (cached)."""
-        key = (_cfg_key(cfg), profile.name, self.n_instrs, self.warmup)
+        key = self._result_key(cfg, profile)
         if key in self._results:
             return self._results[key]
-        core = build_core(cfg, self.mem_cfg)
-        stats = core.run(self.trace(profile), warmup=self.warmup)
-        report = build_power_model(cfg).energy(stats)
-        result = RunResult(core=cfg, app=profile.name, stats=stats,
-                           energy=report)
+        result = self._simulate(cfg, profile)
         self._results[key] = result
         return result
 

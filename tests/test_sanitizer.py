@@ -1,0 +1,153 @@
+"""Invariant sanitizer: clean runs stay clean (and bit-identical), seeded
+corruption is caught with a structured diagnostic."""
+
+import types
+
+import pytest
+
+from repro.common.params import (
+    make_casino_config,
+    make_freeway_config,
+    make_ino_config,
+    make_lsc_config,
+    make_ooo_config,
+    make_specino_config,
+)
+from repro.cores import build_core
+from repro.engine.faults import Fault, FaultInjector
+from repro.engine.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    check_counters,
+    check_occupancy,
+    check_rename,
+    resolve_sanitizer,
+)
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.suite import get_profile
+from tests.util import div, with_pcs
+
+ALL_CONFIGS = [make_ino_config, make_lsc_config, make_freeway_config,
+               make_specino_config, make_casino_config, make_ooo_config]
+IDS = [make().name for make in ALL_CONFIGS]
+
+
+def real_trace(app="mcf", n=3_000):
+    return SyntheticWorkload(get_profile(app)).generate(n)
+
+
+@pytest.mark.parametrize("make", ALL_CONFIGS, ids=IDS)
+def test_clean_run_passes_sanitizer(make):
+    """A healthy simulation of a real workload trips no invariant check."""
+    trace = real_trace()
+    stats = build_core(make()).run(trace, sanitize=True)
+    assert stats.get("committed") == len(trace)
+
+
+@pytest.mark.parametrize("make", ALL_CONFIGS, ids=IDS)
+def test_sanitizer_is_timing_neutral(make):
+    """Sanitized and unsanitized runs must be bit-identical: the checks
+    only read simulator state."""
+    trace = real_trace()
+    plain = build_core(make()).run(trace, sanitize=False)
+    checked = build_core(make()).run(trace, sanitize=True)
+    assert dict(plain.counters) == dict(checked.counters)
+
+
+def test_corrupt_ready_caught_by_sanitizer_only():
+    """A corrupted ready bit lets a consumer issue before its producer
+    completed.  Without the sanitizer the run retires silently-wrong
+    timing; with it the dataflow/timestamp contract fires at commit."""
+    cfg = make_ooo_config()
+    trace = with_pcs([div(1)] + [div(1, (1,)) for _ in range(60)])
+    faults = [Fault("corrupt_ready", seq=30)]
+    # Silent without the sanitizer:
+    stats = build_core(cfg).run(trace, faults=FaultInjector(faults))
+    assert stats.get("committed") == len(trace)
+    # Caught with it:
+    faults = [Fault("corrupt_ready", seq=30)]
+    with pytest.raises(SanitizerError) as err:
+        build_core(cfg).run(trace, faults=FaultInjector(faults),
+                            sanitize=True)
+    details = err.value.details
+    assert details["check"] in ("dataflow", "timestamps")
+    assert details["debug"]
+    assert details["violation"]
+
+
+# -- individual checks against stub state ------------------------------------
+
+class _StubCore:
+    def __init__(self, **attrs):
+        self.cfg = types.SimpleNamespace(name="stub", producer_count_max=3)
+        self.stats = types.SimpleNamespace(counters={})
+        for key, value in attrs.items():
+            setattr(self, key, value)
+
+    def _occupancy(self):
+        return getattr(self, "occ", {})
+
+    def _debug_state(self):
+        return "stub-state"
+
+
+def test_check_occupancy_bounds():
+    assert check_occupancy(_StubCore(occ={"iq": (3, 8)}), 0) is None
+    assert "exceeds capacity" in check_occupancy(
+        _StubCore(occ={"iq": (9, 8)}), 0)
+    assert "negative" in check_occupancy(_StubCore(occ={"rob": (-1, 8)}), 0)
+
+
+def test_check_counters_negative():
+    core = _StubCore()
+    core.stats.counters = {"committed": 10, "squashes": -2}
+    assert "squashes" in check_counters(core, 0)
+    core.stats.counters["squashes"] = 0
+    assert check_counters(core, 0) is None
+
+
+def test_check_rename_violations():
+    entry = lambda phys: types.SimpleNamespace(phys=phys, fresh_phys=True)
+    ok = _StubCore(renamer=types.SimpleNamespace(pending={7: 2}),
+                   rob=[entry(1001), entry(1002)])
+    assert check_rename(ok, 0) is None
+    over = _StubCore(renamer=types.SimpleNamespace(pending={7: 5}), rob=[])
+    assert "exceeds bound" in check_rename(over, 0)
+    double = _StubCore(renamer=types.SimpleNamespace(pending={}),
+                       rob=[entry(1001), entry(1001)])
+    assert "allocated twice" in check_rename(double, 0)
+    # Cores without a renamer are skipped entirely.
+    assert check_rename(_StubCore(), 0) is None
+
+
+def test_sanitizer_structured_failure():
+    """A failing check raises with core/cycle/check/debug details."""
+    boom = ("custom", lambda core, cycle: "it broke")
+    with pytest.raises(SanitizerError) as err:
+        Sanitizer(cycle_checks=[boom]).check_cycle(_StubCore(), 42)
+    details = err.value.details
+    assert details == {"core": "stub", "check": "custom", "cycle": 42,
+                       "violation": "it broke", "debug": "stub-state"}
+
+
+def test_sanitizer_pluggable_checks():
+    """Custom check lists replace the defaults and actually run."""
+    calls = []
+    probe = ("probe", lambda core, cycle: calls.append(cycle))
+    sanitizer = Sanitizer(cycle_checks=[probe], commit_checks=[])
+    build_core(make_ino_config()).run(real_trace(n=500), sanitize=sanitizer)
+    assert calls, "custom cycle check never ran"
+    assert sanitizer.commit_checks == []
+
+
+def test_resolve_sanitizer(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert resolve_sanitizer(None) is None
+    assert resolve_sanitizer(False) is None
+    assert isinstance(resolve_sanitizer(True), Sanitizer)
+    existing = Sanitizer(cycle_checks=[])
+    assert resolve_sanitizer(existing) is existing
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert isinstance(resolve_sanitizer(None), Sanitizer)
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert resolve_sanitizer(None) is None
