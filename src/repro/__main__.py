@@ -5,6 +5,8 @@ Commands
 ``list``                     show the 25 synthetic applications
 ``run --core X --app Y``     simulate one (core, app) pair and print stats
 ``compare --app Y``          all Table I cores on one application
+``trace --core X --app Y``   instrumented run: events, metrics, Perfetto
+                             export, simulator self-profile
 ``figure figN``              regenerate one figure of the paper
 ``sweep [out.txt]``          all figures, checkpointed + failure-tolerant
 """
@@ -55,15 +57,31 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    if args.config:
+def _load_cfg(args):
+    if getattr(args, "config", None):
         from repro.common.config_io import load_core_config
-        cfg = load_core_config(args.config)
-    else:
-        cfg = _CORES[args.core]()
+        return load_core_config(args.config)
+    return _CORES[args.core]()
+
+
+def _result_dict(res, n_instrs: int, warmup: int, profile=None) -> dict:
+    """Machine-readable record of one RunResult (with provenance)."""
+    from repro.obs.provenance import run_manifest
+    return {
+        "core": res.core.name, "app": res.app, "ipc": res.ipc,
+        "n_instrs": n_instrs, "warmup": warmup,
+        "energy_j": res.energy.total_j, "epi_nj": res.energy.epi_nj,
+        "counters": res.stats.as_dict(),
+        "manifest": run_manifest(res.core, profile, stats=res.stats),
+    }
+
+
+def _cmd_run(args) -> int:
+    cfg = _load_cfg(args)
     runner = Runner(n_instrs=args.n, warmup=args.warmup,
                     sanitize=True if args.sanitize else None)
-    res = runner.run(cfg, get_profile(args.app))
+    profile = get_profile(args.app)
+    res = runner.run(cfg, profile)
     stats = res.stats
     print(f"{args.core} on {args.app}: IPC {res.ipc:.3f} "
           f"({int(stats.committed)} instrs, {int(stats.cycles)} cycles)")
@@ -75,6 +93,11 @@ def _cmd_run(args) -> int:
     rows = [[k, int(stats.get(k))] for k in interesting if k in stats]
     if rows:
         print(format_table(["counter", "value"], rows))
+    if args.json:
+        from repro.harness.export import write_json
+        write_json(_result_dict(res, args.n, args.warmup, profile),
+                   args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -84,14 +107,87 @@ def _cmd_compare(args) -> int:
     profile = get_profile(args.app)
     rows = []
     base = None
+    results = {}
     for name in ("ino", "lsc", "freeway", "casino", "ooo"):
         res = runner.run(_CORES[name](), profile)
         if base is None:
             base = res
         rows.append([name, res.ipc, res.ipc / base.ipc,
                      res.energy.total_j / base.energy.total_j])
+        results[name] = _result_dict(res, args.n, args.warmup, profile)
+        results[name]["speedup"] = res.ipc / base.ipc
     print(f"{args.app} ({profile.n_instrs} instrs)")
     print(format_table(["core", "IPC", "speedup", "energy (rel)"], rows))
+    if args.json:
+        from repro.harness.export import write_json
+        write_json({"app": args.app, "baseline": "ino", "cores": results},
+                   args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Instrumented single run: event tracing, interval metrics, Perfetto
+    export and simulator self-profiling (all read-only — the simulated
+    timing matches an uninstrumented ``run``)."""
+    import time
+
+    from repro.cores import build_core
+    from repro.harness.tables import format_table as _table
+    from repro.obs.events import Tracer
+    from repro.obs.metrics import MetricsSampler
+    from repro.obs.perfetto import build_trace
+    from repro.obs.profile import SelfProfiler
+    from repro.obs.provenance import run_manifest
+    from repro.workloads.generator import SyntheticWorkload
+
+    cfg = _load_cfg(args)
+    profile = get_profile(args.app)
+    trace = SyntheticWorkload(profile).generate(args.n)
+    kinds = args.kinds.split(",") if args.kinds else None
+    seq_min = seq_max = None
+    if args.seq_range:
+        lo, _, hi = args.seq_range.partition(":")
+        seq_min = int(lo) if lo else None
+        seq_max = int(hi) if hi else None
+    tracer = Tracer(capacity=args.events, kinds=kinds,
+                    seq_min=seq_min, seq_max=seq_max)
+    sampler = MetricsSampler(interval=args.interval)
+    profiler = SelfProfiler() if args.profile else None
+    core = build_core(cfg)
+    start = time.perf_counter()
+    stats = core.run(trace, warmup=args.warmup, record_schedule=True,
+                     sanitize=True if args.sanitize else None,
+                     tracer=tracer, sampler=sampler, profiler=profiler)
+    wall = time.perf_counter() - start
+    manifest = run_manifest(cfg, profile, stats=stats, wall_time=wall)
+    print(f"{cfg.name} on {args.app}: IPC {stats.ipc:.3f} "
+          f"({int(stats.committed)} instrs, {int(stats.cycles)} cycles, "
+          f"{wall:.2f}s host)")
+    print(f"provenance: config {manifest['config_hash']} "
+          f"seed {manifest['trace_seed']} git {manifest['git_rev']} "
+          f"counters {manifest['counter_digest']}")
+    rows = [[kind, count] for kind, count in sorted(tracer.counts.items())]
+    print(_table(["event", "count"], rows) if rows else "(no events)")
+    if tracer.dropped:
+        print(f"(ring buffer kept {len(tracer)} of {tracer.emitted} "
+              f"events; oldest {tracer.dropped} dropped)")
+    if args.perfetto:
+        from repro.harness.export import write_json
+        doc = build_trace(core.schedule, tracer=tracer, sampler=sampler,
+                          core_name=cfg.name)
+        doc["otherData"]["manifest"] = manifest
+        write_json(doc, args.perfetto)
+        print(f"wrote {args.perfetto} "
+              f"(open in https://ui.perfetto.dev)")
+    if args.metrics:
+        from repro.harness.export import write_json
+        report = sampler.report()
+        report["manifest"] = manifest
+        write_json(report, args.metrics)
+        print(f"wrote {args.metrics}")
+    if profiler is not None:
+        print(profiler.report())
     return 0
 
 
@@ -147,6 +243,8 @@ def main(argv=None) -> int:
     run_p.add_argument("--warmup", type=int, default=6_000)
     run_p.add_argument("--sanitize", action="store_true",
                        help="check microarchitectural invariants every cycle")
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write stats + provenance as JSON")
 
     cmp_p = sub.add_parser("compare", help="all cores on one application")
     cmp_p.add_argument("--app", default="milc")
@@ -154,6 +252,34 @@ def main(argv=None) -> int:
     cmp_p.add_argument("--warmup", type=int, default=6_000)
     cmp_p.add_argument("--sanitize", action="store_true",
                        help="check microarchitectural invariants every cycle")
+    cmp_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write per-core stats + provenance as JSON")
+
+    trace_p = sub.add_parser(
+        "trace", help="instrumented run: events, metrics, Perfetto export, "
+                      "self-profile")
+    trace_p.add_argument("--core", choices=sorted(_CORES), default="casino")
+    trace_p.add_argument("--config", metavar="JSON", default=None,
+                         help="load the core config from a JSON file instead")
+    trace_p.add_argument("--app", default="milc")
+    trace_p.add_argument("-n", type=int, default=24_000)
+    trace_p.add_argument("--warmup", type=int, default=6_000)
+    trace_p.add_argument("--sanitize", action="store_true",
+                         help="check microarchitectural invariants every cycle")
+    trace_p.add_argument("--perfetto", metavar="PATH", default=None,
+                         help="write a Perfetto/Chrome trace-event JSON")
+    trace_p.add_argument("--metrics", metavar="PATH", default=None,
+                         help="write interval time-series metrics as JSON")
+    trace_p.add_argument("--profile", action="store_true",
+                         help="print a host wall-clock self-profile")
+    trace_p.add_argument("--interval", type=int, default=100,
+                         help="metrics sampling interval in cycles")
+    trace_p.add_argument("--events", type=int, default=65_536,
+                         help="event ring-buffer capacity")
+    trace_p.add_argument("--kinds", default=None,
+                         help="comma-separated event kinds to record")
+    trace_p.add_argument("--seq-range", metavar="LO:HI", default=None,
+                         help="only record events for this seq window")
 
     char_p = sub.add_parser("characterize",
                             help="measure a synthetic application's trace")
@@ -180,7 +306,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run,
             "compare": _cmd_compare, "figure": _cmd_figure,
-            "characterize": _cmd_characterize,
+            "characterize": _cmd_characterize, "trace": _cmd_trace,
             "sweep": _cmd_sweep}[args.command](args)
 
 

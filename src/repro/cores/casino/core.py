@@ -100,6 +100,9 @@ class CasinoCore(CoreModel):
             if inst.is_load and self.lsu.commit_load(entry, cycle):
                 # On-commit value-check failed: flush this load and all
                 # younger instructions, then re-execute.
+                if self.tracer is not None:
+                    self.tracer.emit("storeset_violation", cycle, entry.seq,
+                                     mechanism="value_check")
                 self._squash(entry.seq, cycle)
                 return
             self.rob.popleft()
@@ -187,6 +190,9 @@ class CasinoCore(CoreModel):
                 if first:
                     self._leave_first_siq(entry, passed=True)
                 next_queue.append(entry)
+                if self.tracer is not None:
+                    self.tracer.emit("siq_promote", cycle, entry.seq,
+                                     from_queue=qi, to_queue=qi + 1)
                 self.stats.add("siq_passes")
                 passes += 1
                 processed += 1
@@ -276,9 +282,14 @@ class CasinoCore(CoreModel):
             if self.lsu.violation_seq is not None:
                 victim = self.lsu.violation_seq
                 self.lsu.violation_seq = None
+                if self.tracer is not None:
+                    self.tracer.emit("storeset_violation", cycle, victim,
+                                     mechanism="lq_search", store=entry.seq)
                 self._squash(victim, cycle)
         else:
             entry.done_at = cycle + inst.latency
+        if self.tracer is not None:
+            self.trace_issue(entry, cycle, from_iq=from_iq)
         self.resolve_branch_if_gating(entry)
 
     # -- dispatch ------------------------------------------------------------------

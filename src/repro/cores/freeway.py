@@ -68,6 +68,11 @@ class FreewayCore(LoadSliceCore):
             self.stats.add("dispatched")
             if tag == "Y":
                 self.stats.add("yiq_steered")
+                if self.tracer is not None:
+                    # Steering into the yielding queue is Freeway's analogue
+                    # of a queue promotion.
+                    self.tracer.emit("siq_promote", cycle, entry.seq,
+                                     from_queue="B", to_queue="Y")
 
     def _is_dependent_slice(self, inst) -> bool:
         """A slice instruction whose value depends on an outstanding load of

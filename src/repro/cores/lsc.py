@@ -155,6 +155,8 @@ class LoadSliceCore(CoreModel):
             entry.done_at = cycle + 1
         else:
             entry.done_at = cycle + inst.latency
+        if self.tracer is not None:
+            self.trace_issue(entry, cycle, queue=entry.queue_tag)
         self.resolve_branch_if_gating(entry)
 
     def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:

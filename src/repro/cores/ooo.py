@@ -135,6 +135,10 @@ class OutOfOrderCore(CoreModel):
                     if any(s.inst.overlaps(inst)
                            for s in entry.unresolved_older):
                         self.stats.add("mem_order_violations")
+                        if self.tracer is not None:
+                            self.tracer.emit("storeset_violation", cycle,
+                                             entry.seq,
+                                             mechanism="value_check")
                         self._squash(entry.seq, cycle)
                         return
             elif inst.is_load:
@@ -201,6 +205,8 @@ class OutOfOrderCore(CoreModel):
             self._store_resolved(entry, cycle)
         else:
             entry.done_at = cycle + inst.latency
+        if self.tracer is not None:
+            self.trace_issue(entry, cycle)
         self.resolve_branch_if_gating(entry)
 
     def _execute_load(self, entry: InflightInst, cycle: int) -> None:
@@ -249,6 +255,9 @@ class OutOfOrderCore(CoreModel):
                         victim = load
         if victim is not None:
             self.stats.add("mem_order_violations")
+            if self.tracer is not None:
+                self.tracer.emit("storeset_violation", cycle, victim.seq,
+                                 mechanism="lq_search", store=store.seq)
             if self.store_sets is not None:
                 self.store_sets.on_violation(store.inst.pc, victim.inst.pc)
             self._squash(victim.seq, cycle)

@@ -159,6 +159,8 @@ class SpecInOCore(CoreModel):
             entry.done_at = cycle + 1
         else:
             entry.done_at = cycle + inst.latency
+        if self.tracer is not None:
+            self.trace_issue(entry, cycle)
         self.resolve_branch_if_gating(entry)
 
     def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:

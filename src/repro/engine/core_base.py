@@ -128,6 +128,11 @@ class CoreModel:
         # Optional resilience hooks, armed per-run by :meth:`run`.
         self.sanitizer = None      # repro.engine.sanitizer.Sanitizer
         self.faults = None         # repro.engine.faults.FaultInjector
+        # Optional observability hooks (repro.obs), armed per-run.  All
+        # three are strictly read-only: attached or not, timing is
+        # bit-identical.
+        self.tracer = None         # repro.obs.events.Tracer
+        self.sampler = None        # repro.obs.metrics.MetricsSampler
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -150,7 +155,8 @@ class CoreModel:
     def run(self, trace: Sequence[DynInst], max_cycles: int = 50_000_000,
             warmup: int = 0, warm_icache: bool = False,
             record_schedule: bool = False, sanitize=None, faults=None,
-            deadlock_cycles: Optional[int] = None) -> Stats:
+            deadlock_cycles: Optional[int] = None, tracer=None,
+            sampler=None, profiler=None) -> Stats:
         """Simulate the whole trace; returns the statistics bag.
 
         ``warmup`` discards the counters accumulated while committing the
@@ -169,50 +175,68 @@ class CoreModel:
         :class:`~repro.engine.faults.FaultInjector` (self-test machinery).
         ``deadlock_cycles`` overrides ``cfg.deadlock_cycles``, the watchdog
         threshold on cycles between commits.
+        ``tracer``/``sampler``/``profiler`` attach the observability layer
+        (:mod:`repro.obs`): a structured event tracer, an interval metrics
+        sampler and a host wall-clock self-profiler.  All three only read
+        simulator state — attaching them never changes timing, and when
+        left ``None`` (the default) the seed code paths run unchanged.
         """
         from repro.engine.sanitizer import resolve_sanitizer
         self.sanitizer = resolve_sanitizer(sanitize)
         self.faults = faults
+        self.tracer = tracer
+        self.sampler = sampler
         watchdog = (deadlock_cycles if deadlock_cycles is not None
                     else self.cfg.deadlock_cycles)
         self.schedule = [] if record_schedule else None
         self.reset(trace)
+        if profiler is not None:
+            profiler.attach(self)
+            profiler.begin_run()
         if warm_icache:
             for line in {inst.pc >> 6 for inst in trace}:
                 self.hier.l1i.install_prefetch(line << 6, fill_at=-1)
         cycle = 0
         warm_snapshot = None
         warm_cycle = 0
-        while not (self.fetch.drained and self.pipeline_empty()):
-            self.cycle = cycle
-            self.fu.reset()
-            self._step(cycle)
-            if self.faults is not None:
-                self.faults.on_cycle(self, cycle)
-            if self.sanitizer is not None:
-                self.sanitizer.check_cycle(self, cycle)
-            self.fetch.tick(cycle)
-            cycle += 1
-            if (warmup and warm_snapshot is None
-                    and self.stats.counters.get("committed", 0) >= warmup):
-                warm_snapshot = dict(self.stats.counters)
-                warm_cycle = cycle
-            if cycle - self._last_commit_cycle > watchdog:
-                raise SimulationError(
-                    f"{self.cfg.name}: no commit for {watchdog} cycles at "
-                    f"cycle {cycle} (deadlock?) - {self._debug_state()}",
-                    core=self.cfg.name, check="deadlock_watchdog",
-                    cycle=cycle, last_commit_cycle=self._last_commit_cycle,
-                    committed=self.stats.counters.get("committed", 0),
-                    debug=self._debug_state())
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"{self.cfg.name}: exceeded {max_cycles} cycles - "
-                    f"{self._debug_state()}",
-                    core=self.cfg.name, check="cycle_budget", cycle=cycle,
-                    max_cycles=max_cycles,
-                    committed=self.stats.counters.get("committed", 0),
-                    debug=self._debug_state())
+        try:
+            while not (self.fetch.drained and self.pipeline_empty()):
+                self.cycle = cycle
+                self.fu.reset()
+                self._step(cycle)
+                if self.faults is not None:
+                    self.faults.on_cycle(self, cycle)
+                if self.sanitizer is not None:
+                    self.sanitizer.check_cycle(self, cycle)
+                if self.sampler is not None:
+                    self.sampler.on_cycle(self, cycle)
+                self.fetch.tick(cycle)
+                cycle += 1
+                if (warmup and warm_snapshot is None
+                        and self.stats.counters.get("committed", 0) >= warmup):
+                    warm_snapshot = dict(self.stats.counters)
+                    warm_cycle = cycle
+                if cycle - self._last_commit_cycle > watchdog:
+                    raise SimulationError(
+                        f"{self.cfg.name}: no commit for {watchdog} cycles at "
+                        f"cycle {cycle} (deadlock?) - {self._debug_state()}",
+                        core=self.cfg.name, check="deadlock_watchdog",
+                        cycle=cycle, last_commit_cycle=self._last_commit_cycle,
+                        committed=self.stats.counters.get("committed", 0),
+                        debug=self._debug_state())
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"{self.cfg.name}: exceeded {max_cycles} cycles - "
+                        f"{self._debug_state()}",
+                        core=self.cfg.name, check="cycle_budget", cycle=cycle,
+                        max_cycles=max_cycles,
+                        committed=self.stats.counters.get("committed", 0),
+                        debug=self._debug_state())
+        finally:
+            if profiler is not None:
+                profiler.end_run()
+        if self.sampler is not None:
+            self.sampler.finish(self, cycle)
         self.stats.add("cycles", cycle)
         if warm_snapshot is not None:
             for key, value in warm_snapshot.items():
@@ -258,6 +282,10 @@ class CoreModel:
             self.last_writer[inst.dst] = entry
         if self.faults is not None:
             self.faults.on_entry(entry)
+        if self.tracer is not None:
+            self.tracer.emit("dispatch", self.cycle, entry.seq,
+                             op=inst.op.name,
+                             producers=[p.seq for p in producers])
         return entry
 
     def note_commit(self, entry: InflightInst, cycle: int) -> None:
@@ -280,6 +308,10 @@ class CoreModel:
         if self.schedule is not None:
             self.schedule.append((entry.seq, entry.inst, entry.issue_at,
                                   entry.done_at, cycle, entry.from_siq))
+        if self.tracer is not None:
+            self.tracer.emit("commit", cycle, entry.seq,
+                             issue_at=entry.issue_at, done_at=entry.done_at,
+                             from_siq=entry.from_siq)
         if self.last_writer.get(entry.inst.dst) is entry:
             # Keep the map small: a committed producer is always ready.
             del self.last_writer[entry.inst.dst]
@@ -291,9 +323,35 @@ class CoreModel:
                 and entry.done_at is not None):
             self.fetch.resolve_branch(entry.seq, entry.done_at)
 
+    def trace_issue(self, entry: InflightInst, cycle: int, **data) -> None:
+        """Emit the wakeup / issue / execute-done events for an
+        instruction that just issued (call after ``done_at`` is set).
+
+        ``wakeup`` is stamped with the cycle the last source operand
+        became available; ``execute_done`` with the (already determined)
+        completion cycle — :meth:`Tracer.events` re-sorts by cycle.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        ready_at = 0
+        for producer in entry.producers:
+            if producer.done_at is not None and producer.done_at > ready_at:
+                ready_at = producer.done_at
+        tracer.emit("wakeup", ready_at, entry.seq, issued_at=cycle)
+        tracer.emit("issue", cycle, entry.seq, op=entry.inst.op.name,
+                    ready_at=ready_at, **data)
+        if entry.done_at is not None:
+            tracer.emit("execute_done", entry.done_at, entry.seq,
+                        issued_at=cycle)
+
     def load_latency(self, entry: InflightInst, cycle: int) -> int:
         """Latency of a load that goes to the L1D at ``cycle``."""
-        return self.hier.load(entry.inst.mem_addr, cycle)
+        latency = self.hier.load(entry.inst.mem_addr, cycle)
+        if self.tracer is not None and latency > self.hier.l1d.cfg.latency:
+            self.tracer.emit("cache_miss", cycle, entry.seq,
+                             addr=entry.inst.mem_addr, latency=latency)
+        return latency
 
     def start_store_fill(self, entry: InflightInst, cycle: int) -> None:
         """Begin the write-allocate fill (RFO) for a committing store, so
@@ -311,6 +369,8 @@ class CoreModel:
         and must drop ``last_writer`` entries for squashed instructions
         via :meth:`clean_last_writers`."""
         self.stats.add("squashes")
+        if self.tracer is not None:
+            self.tracer.emit("squash", cycle, from_seq, from_seq=from_seq)
         self.fetch.squash(from_seq, cycle + self.cfg.mispredict_penalty)
         self.clean_last_writers(from_seq)
 

@@ -25,11 +25,13 @@ from repro.experiments import (
     fig11_wider_issue,
 )
 from repro.experiments.common import default_profiles, make_resilient_runner
+from repro.harness.export import jsonable
 from repro.harness.resilience import (
     ResilientRunner,
     SweepCheckpoint,
     failure_report,
 )
+from repro.obs.provenance import figure_manifest
 
 #: ``(figure name, fn(runner, profiles) -> result)`` in sweep order.
 FigureJob = Tuple[str, Callable]
@@ -96,7 +98,9 @@ def run_sweep(runner: ResilientRunner, profiles: Sequence,
             elapsed = time.time() - start
             failures, excluded = runner.drain()
             checkpoint.put(name, result, exclusions=excluded,
-                           failures=[f.summary() for f in failures])
+                           failures=[f.summary() for f in failures],
+                           manifest=figure_manifest(runner, elapsed,
+                                                    jsonable(result)))
             results[name] = result
             emit(f"=== {name} ({elapsed:.0f}s) ===")
             if failures:

@@ -52,16 +52,21 @@ class FailureRecord:
     debug: str = ""          # the core's _debug_state() snapshot
     attempt: int = 0         # 0 = first run, k = k-th reseeded retry
     details: dict = field(default_factory=dict)
+    #: Provenance (config hash, trace seed, git rev, ...) so the failure
+    #: is attributable after the fact — see repro.obs.provenance.
+    manifest: dict = field(default_factory=dict)
 
     @classmethod
     def from_error(cls, cfg: CoreConfig, profile: WorkloadProfile,
                    exc: SimulationError, attempt: int = 0) -> "FailureRecord":
+        from repro.obs.provenance import run_manifest
         details = dict(getattr(exc, "details", {}) or {})
         return cls(core=cfg.name, app=profile.name, seed=profile.seed,
                    error=str(exc), check=str(details.get("check", "")),
                    cycle=details.get("cycle"),
                    debug=str(details.get("debug", "")),
-                   attempt=attempt, details=details)
+                   attempt=attempt, details=details,
+                   manifest=run_manifest(cfg, profile))
 
     def summary(self) -> str:
         where = f" at cycle {self.cycle}" if self.cycle is not None else ""
@@ -222,10 +227,14 @@ class SweepCheckpoint:
 
     def put(self, figure: str, result,
             exclusions: Sequence[str] = (),
-            failures: Sequence[str] = ()) -> None:
-        self.data[figure] = {"result": jsonable(result),
-                             "exclusions": list(exclusions),
-                             "failures": list(failures)}
+            failures: Sequence[str] = (),
+            manifest: Optional[dict] = None) -> None:
+        entry = {"result": jsonable(result),
+                 "exclusions": list(exclusions),
+                 "failures": list(failures)}
+        if manifest:
+            entry["manifest"] = jsonable(manifest)
+        self.data[figure] = entry
         self._flush()
 
     def completed(self) -> List[str]:

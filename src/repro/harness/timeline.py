@@ -35,8 +35,12 @@ def render_timeline(schedule: Sequence[ScheduleEntry],
     window = list(schedule[first:first + count])
     if not window:
         return "(empty schedule)"
-    start = min(e[2] for e in window if e[2] is not None)
-    end = max(e[4] for e in window)
+    # Span every mark we will draw: issue/done where present, commit always.
+    # A window where nothing ever issued is still renderable (wait-only
+    # rows show just their commit).
+    marks = [t for e in window for t in (e[2], e[3], e[4]) if t is not None]
+    start = min(marks)
+    end = max(marks)
     span = max(1, end - start + 1)
     scale = max(1, (span + width - 1) // width)
 
@@ -50,11 +54,13 @@ def render_timeline(schedule: Sequence[ScheduleEntry],
     ]
     for seq, inst, issue_at, done_at, commit_at, from_siq in window:
         cells = [" "] * n_cols
-        if issue_at is not None and done_at is not None:
-            for cycle in range(issue_at, done_at + 1):
-                cells[col(cycle)] = "="
+        if issue_at is not None:
+            if done_at is not None:
+                for cycle in range(issue_at, done_at + 1):
+                    cells[col(cycle)] = "="
             cells[col(issue_at)] = "i"
-            cells[col(done_at)] = "D"
+            if done_at is not None:
+                cells[col(done_at)] = "D"
         cells[col(commit_at)] = "C"
         lines.append(_label(inst, from_siq, tag_spec) + "|"
                      + "".join(cells) + "|")

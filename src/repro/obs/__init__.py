@@ -1,0 +1,21 @@
+"""Observability: cycle-level tracing, time-series metrics, Perfetto
+export, self-profiling and run provenance.
+
+Everything in this package is strictly *read-only* with respect to the
+simulation: attaching a tracer/sampler/profiler never changes any timing
+statistic, and with all of them detached (the default) the core models run
+the exact seed code paths — the same disabled-means-bit-identical contract
+the invariant sanitizer established.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent, Tracer
+from repro.obs.metrics import MetricsSampler
+from repro.obs.perfetto import build_trace, validate_trace
+from repro.obs.profile import SelfProfiler
+from repro.obs.provenance import counter_digest, git_rev, run_manifest
+
+__all__ = [
+    "EVENT_KINDS", "TraceEvent", "Tracer", "MetricsSampler",
+    "build_trace", "validate_trace", "SelfProfiler",
+    "counter_digest", "git_rev", "run_manifest",
+]

@@ -1,0 +1,132 @@
+"""Structured cycle-level event tracing.
+
+A :class:`Tracer` is attached to a core for one run (``core.run(...,
+tracer=Tracer())``).  The core models emit one :class:`TraceEvent` per
+microarchitectural event — the emit sites live in
+:mod:`repro.engine.core_base` (dispatch, commit, squash, cache miss) and in
+each core's ``_step`` path (wakeup/issue/execute-done, S-IQ promotion,
+memory-order violations), mirroring the ``_occupancy()`` hook pattern of
+the sanitizer.
+
+Contract: with no tracer attached (the default) the only added work per
+event site is one ``is None`` test, and the simulated timing is bit-
+identical either way — the tracer only ever *reads* core state.
+
+Events are stored in a bounded ring buffer (oldest evicted first) and can
+be filtered at emit time by kind and by sequence-number range, so tracing
+a billion-cycle run around one misbehaving instruction stays cheap.
+
+Timestamps: events are stamped with the cycle the event *pertains to*,
+which for ``wakeup`` (operands became ready) and ``execute_done``
+(completion time, known at issue in this simulator) may differ from the
+cycle the core emitted them.  :meth:`Tracer.events` therefore returns the
+buffer sorted by cycle (stable, emission order breaks ties).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Canonical event kinds (see docs/OBSERVABILITY.md for the schema).
+EV_DISPATCH = "dispatch"
+EV_WAKEUP = "wakeup"
+EV_ISSUE = "issue"
+EV_EXECUTE_DONE = "execute_done"
+EV_COMMIT = "commit"
+EV_SQUASH = "squash"
+EV_SIQ_PROMOTE = "siq_promote"
+EV_CACHE_MISS = "cache_miss"
+EV_STORESET_VIOLATION = "storeset_violation"
+
+EVENT_KINDS: Tuple[str, ...] = (
+    EV_DISPATCH, EV_WAKEUP, EV_ISSUE, EV_EXECUTE_DONE, EV_COMMIT,
+    EV_SQUASH, EV_SIQ_PROMOTE, EV_CACHE_MISS, EV_STORESET_VIOLATION,
+)
+
+
+class TraceEvent:
+    """One microarchitectural event: what happened, when, to which seq."""
+
+    __slots__ = ("kind", "cycle", "seq", "data")
+
+    def __init__(self, kind: str, cycle: int, seq: int, data: dict) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.seq = seq
+        self.data = data
+
+    def as_dict(self) -> dict:
+        out = {"kind": self.kind, "cycle": self.cycle, "seq": self.seq}
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} @{self.cycle} #{self.seq} {self.data}>"
+
+
+class Tracer:
+    """Bounded, filterable recorder of :class:`TraceEvent` streams.
+
+    ``capacity`` bounds the ring buffer (oldest events are evicted);
+    ``kinds`` restricts recording to a subset of :data:`EVENT_KINDS`;
+    ``seq_min``/``seq_max`` restrict it to a sequence-number window
+    (events not tied to an instruction, e.g. ``squash``, carry ``seq`` of
+    the first squashed instruction and filter the same way).
+    """
+
+    def __init__(self, capacity: int = 65_536,
+                 kinds: Optional[Iterable[str]] = None,
+                 seq_min: Optional[int] = None,
+                 seq_max: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        unknown = set(kinds or ()) - set(EVENT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown event kind(s): {sorted(unknown)}")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.seq_min = seq_min
+        self.seq_max = seq_max
+        self._buffer: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        self.counts: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def wants(self, kind: str, seq: int) -> bool:
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.seq_min is not None and seq < self.seq_min:
+            return False
+        if self.seq_max is not None and seq > self.seq_max:
+            return False
+        return True
+
+    def emit(self, kind: str, cycle: int, seq: int = -1, **data) -> None:
+        if not self.wants(kind, seq):
+            return
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._buffer.append(TraceEvent(kind, cycle, seq, data))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer (recorded minus retained)."""
+        return self.emitted - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events sorted by cycle (stable: emission order ties)."""
+        return sorted(self._buffer, key=lambda e: e.cycle)
+
+    def events_for(self, seq: int) -> List[TraceEvent]:
+        """The lifetime of one instruction, in cycle order."""
+        return [e for e in self.events() if e.seq == seq]
+
+    def as_dicts(self) -> List[dict]:
+        return [e.as_dict() for e in self.events()]

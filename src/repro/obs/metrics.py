@@ -1,0 +1,105 @@
+"""Interval time-series metrics sampled from a live core.
+
+A :class:`MetricsSampler` is attached to a core for one run
+(``core.run(..., sampler=MetricsSampler(interval=N))``).  Every ``N``
+cycles it snapshots the deltas of the :class:`~repro.common.stats.Stats`
+counters plus the occupancy of every bounded structure (via the same
+``_occupancy()`` hook the sanitizer uses), yielding IPC-over-time,
+occupancy histograms and a stall-reason breakdown instead of a single
+end-of-run number.  Like the tracer, it only reads core state: sampled
+runs produce bit-identical timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MetricsSampler:
+    """Snapshots counter deltas + structure occupancy every N cycles."""
+
+    def __init__(self, interval: int = 100) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.samples: List[dict] = []
+        #: ``{structure: capacity}`` learned from the first snapshot.
+        self.capacity: Dict[str, int] = {}
+        self._last_counters: Dict[str, float] = {}
+        self._last_cycle = 0
+
+    # -- recording (called from the core's run loop) -----------------------
+
+    def on_cycle(self, core, cycle: int) -> None:
+        if cycle == 0 or cycle % self.interval:
+            return
+        self._snapshot(core, cycle)
+
+    def finish(self, core, cycle: int) -> None:
+        """Flush a final partial-interval sample at end of run."""
+        if cycle > self._last_cycle:
+            self._snapshot(core, cycle)
+
+    def _snapshot(self, core, cycle: int) -> None:
+        counters = core.stats.counters
+        span = cycle - self._last_cycle
+        delta = {key: value - self._last_counters.get(key, 0.0)
+                 for key, value in counters.items()
+                 if value != self._last_counters.get(key, 0.0)}
+        occupancy = {}
+        for name, (used, cap) in core._occupancy().items():
+            occupancy[name] = used
+            self.capacity.setdefault(name, cap)
+        committed = delta.get("committed", 0.0)
+        self.samples.append({
+            "cycle": cycle,
+            "span": span,
+            "committed": committed,
+            "ipc": committed / span if span else 0.0,
+            "occupancy": occupancy,
+            "stalls": {key: value for key, value in delta.items()
+                       if "stall" in key},
+        })
+        self._last_counters = dict(counters)
+        self._last_cycle = cycle
+
+    # -- derived time-series / aggregates ----------------------------------
+
+    def series(self, field: str = "ipc") -> List[float]:
+        """One per-sample value: ``ipc``, ``committed``, ``span``, ..."""
+        return [sample[field] for sample in self.samples]
+
+    def cycles(self) -> List[int]:
+        return [sample["cycle"] for sample in self.samples]
+
+    def occupancy_series(self, structure: str) -> List[int]:
+        return [sample["occupancy"].get(structure, 0)
+                for sample in self.samples]
+
+    def occupancy_histograms(self) -> Dict[str, Dict[int, int]]:
+        """``{structure: {occupancy: n_samples}}`` over the whole run."""
+        histograms: Dict[str, Dict[int, int]] = {}
+        for sample in self.samples:
+            for name, used in sample["occupancy"].items():
+                bins = histograms.setdefault(name, {})
+                bins[used] = bins.get(used, 0) + 1
+        return histograms
+
+    def stall_breakdown(self) -> Dict[str, float]:
+        """Total per-reason stall counts accumulated across all samples."""
+        totals: Dict[str, float] = {}
+        for sample in self.samples:
+            for key, value in sample["stalls"].items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def report(self) -> dict:
+        """Everything, JSON-exportable via ``harness.export.write_json``."""
+        return {
+            "interval": self.interval,
+            "n_samples": len(self.samples),
+            "capacity": dict(self.capacity),
+            "samples": list(self.samples),
+            "occupancy_histograms": self.occupancy_histograms(),
+            "stall_breakdown": self.stall_breakdown(),
+        }

@@ -1,0 +1,178 @@
+"""Chrome trace-event / Perfetto JSON export of a recorded run.
+
+:func:`build_trace` turns a recorded schedule (``core.run(...,
+record_schedule=True)``), and optionally a tracer and a metrics sampler,
+into a dict conforming to the Chrome trace-event JSON format — load the
+file in https://ui.perfetto.dev (or ``chrome://tracing``) to eyeball a
+CASINO-vs-OoO schedule in a real trace viewer instead of the 64-column
+ASCII timeline.
+
+Layout:
+
+* **pid 1, "<core> pipeline"** — instruction lifetimes, packed onto the
+  minimum number of lanes (tids) such that lifetimes on one lane never
+  overlap.  Each instruction contributes one complete (``ph: "X"``) slice
+  per lifetime phase: ``wait`` (dispatch -> issue), ``exec`` (issue ->
+  done) and ``retire`` (done -> commit); S-IQ issues are tagged in args.
+* **pid 1, tid 0 "events"** — instant (``ph: "i"``) markers for squashes,
+  cache misses and memory-order violations from the tracer.
+* **pid 2, "<core> structures"** — counter (``ph: "C"``) tracks for
+  per-structure occupancy and interval IPC from the metrics sampler.
+
+One simulated cycle maps to one trace-time unit (a "microsecond").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import (
+    EV_CACHE_MISS,
+    EV_DISPATCH,
+    EV_SQUASH,
+    EV_STORESET_VIOLATION,
+)
+
+_INSTANT_KINDS = (EV_SQUASH, EV_CACHE_MISS, EV_STORESET_VIOLATION)
+_PID_PIPELINE = 1
+_PID_STRUCTURES = 2
+_TID_EVENTS = 0
+
+
+def _meta(pid: int, tid: Optional[int], name: str) -> dict:
+    event = {"ph": "M", "pid": pid, "ts": 0,
+             "name": "process_name" if tid is None else "thread_name",
+             "args": {"name": name}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _lane_for(lanes: List[int], start: int) -> int:
+    """First lane free at ``start`` (greedy interval packing)."""
+    for index, busy_until in enumerate(lanes):
+        if busy_until <= start:
+            return index
+    lanes.append(0)
+    return len(lanes) - 1
+
+
+def build_trace(schedule, tracer=None, sampler=None,
+                core_name: str = "core") -> dict:
+    """Build a trace-event document from one recorded run."""
+    events: List[dict] = []
+    events.append(_meta(_PID_PIPELINE, None, f"{core_name} pipeline"))
+    events.append(_meta(_PID_PIPELINE, _TID_EVENTS, "events"))
+
+    # Dispatch cycles recovered from the tracer (ring buffer permitting);
+    # instructions without one start their lifetime at issue (or commit).
+    dispatch_at: Dict[int, int] = {}
+    if tracer is not None:
+        for event in tracer.events():
+            if event.kind == EV_DISPATCH:
+                dispatch_at[event.seq] = event.cycle
+
+    lanes: List[int] = []   # per-lane busy-until cycle
+    for seq, inst, issue_at, done_at, commit_at, from_siq in schedule or ():
+        start = dispatch_at.get(seq)
+        if start is None:
+            start = issue_at if issue_at is not None else commit_at
+        start = min(start, commit_at)
+        lane = _lane_for(lanes, start)
+        lanes[lane] = commit_at + 1
+        tid = lane + 1   # tid 0 is the instant-marker track
+        args = {"seq": seq, "op": inst.op.name, "from_siq": from_siq}
+        label = f"#{seq} {inst.op.name.lower()}"
+        phases = []
+        if issue_at is not None:
+            phases.append(("wait", start, issue_at))
+            if done_at is not None:
+                phases.append(("exec", issue_at, done_at))
+                phases.append(("retire", done_at, commit_at + 1))
+            else:
+                phases.append(("exec", issue_at, commit_at + 1))
+        else:
+            phases.append(("wait", start, commit_at + 1))
+        for phase, begin, finish in phases:
+            if finish < begin:
+                finish = begin
+            events.append({"ph": "X", "pid": _PID_PIPELINE, "tid": tid,
+                           "ts": begin, "dur": finish - begin,
+                           "name": f"{label} {phase}", "cat": phase,
+                           "args": args})
+    for lane in range(len(lanes)):
+        events.append(_meta(_PID_PIPELINE, lane + 1, f"lane {lane}"))
+
+    if tracer is not None:
+        for event in tracer.events():
+            if event.kind not in _INSTANT_KINDS:
+                continue
+            args = {"seq": event.seq}
+            args.update(event.data)
+            events.append({"ph": "i", "pid": _PID_PIPELINE,
+                           "tid": _TID_EVENTS, "ts": event.cycle, "s": "t",
+                           "name": event.kind, "cat": "events",
+                           "args": args})
+
+    if sampler is not None and sampler.samples:
+        events.append(_meta(_PID_STRUCTURES, None,
+                            f"{core_name} structures"))
+        events.append(_meta(_PID_STRUCTURES, _TID_EVENTS, "counters"))
+        for sample in sampler.samples:
+            ts = sample["cycle"]
+            events.append({"ph": "C", "pid": _PID_STRUCTURES,
+                           "tid": _TID_EVENTS, "ts": ts, "name": "ipc",
+                           "args": {"ipc": sample["ipc"]}})
+            for name, used in sample["occupancy"].items():
+                events.append({"ph": "C", "pid": _PID_STRUCTURES,
+                               "tid": _TID_EVENTS, "ts": ts,
+                               "name": f"occ {name}",
+                               "args": {"occupancy": used}})
+
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"core": core_name, "clock": "1 cycle = 1 us"}}
+
+
+def validate_trace(doc: dict) -> List[str]:
+    """Schema-check a trace-event document; returns a list of problems
+    (empty means valid).  Checks the shape Perfetto actually needs: a
+    ``traceEvents`` list, required per-phase fields, non-negative
+    durations, and that complete slices on one (pid, tid) track are
+    properly nested (no partial overlap)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document has no traceEvents key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    slices: Dict[tuple, List[tuple]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("ph", "pid", "ts", "name"):
+            if key not in event:
+                problems.append(f"event {index} missing {key!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            if event.get("dur", -1) < 0:
+                problems.append(f"event {index} has negative/missing dur")
+            else:
+                track = (event.get("pid"), event.get("tid"))
+                slices.setdefault(track, []).append(
+                    (event["ts"], event["ts"] + event["dur"], index))
+        elif ph == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append(f"instant event {index} has bad scope")
+    for track, intervals in slices.items():
+        # Enclosing slices sort first so containment reads as nesting.
+        intervals.sort(key=lambda t: (t[0], -t[1]))
+        open_stack: List[tuple] = []
+        for begin, end, index in intervals:
+            while open_stack and open_stack[-1][1] <= begin:
+                open_stack.pop()
+            if open_stack and end > open_stack[-1][1]:
+                problems.append(
+                    f"slice {index} on track {track} partially overlaps "
+                    f"an enclosing slice")
+            open_stack.append((begin, end))
+    return problems

@@ -1,0 +1,131 @@
+"""Host-side wall-clock self-profiler: where did *simulation* time go.
+
+The simulator's own speed is a first-class concern ("fast as the hardware
+allows"); before optimising a hot path you need to know which component
+owns the wall time.  A :class:`SelfProfiler` is attached to a core for one
+run (``core.run(..., profiler=SelfProfiler())``): it wraps the core's
+pipeline-stage methods (commit / issue / dispatch), the fetch unit, the
+memory hierarchy and the resilience hooks in ``perf_counter`` scopes, and
+accounts *self time* per component (a scope's children are subtracted), so
+the report's components sum to the measured run time.
+
+Wrapping happens on the core *instance* after ``reset()``, so the core
+classes carry zero profiling code and an unprofiled run executes the
+untouched methods — same disabled-means-bit-identical contract as the
+tracer.  Wrapped calls pass every argument straight through: a profiled
+run simulates the exact same cycles, just slower on the host.
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+#: ``(attribute, component)`` wrap specs looked up on the core itself.
+_CORE_SCOPES: Tuple[Tuple[str, str], ...] = (
+    ("_commit", "commit"),
+    ("_dispatch", "dispatch"),
+    ("_issue", "schedule"),
+    ("_issue_iq", "schedule"),
+    ("_scan_siqs", "schedule"),
+    ("_issue_head", "schedule"),
+    ("_issue_window", "schedule"),
+    ("_retire_stores", "memory"),
+    ("pipeline_empty", "run_loop"),
+)
+
+
+class SelfProfiler:
+    """Accumulates per-component self time over one (or more) runs."""
+
+    def __init__(self) -> None:
+        self.self_time: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.wall = 0.0          # total measured run time (outermost scope)
+        self._stack: List[list] = []   # [component, start, child_time]
+
+    # -- scope machinery ---------------------------------------------------
+
+    def _enter(self, component: str) -> None:
+        self._stack.append([component, perf_counter(), 0.0])
+
+    def _exit(self) -> None:
+        component, start, child_time = self._stack.pop()
+        elapsed = perf_counter() - start
+        self.self_time[component] = (self.self_time.get(component, 0.0)
+                                     + elapsed - child_time)
+        self.calls[component] = self.calls.get(component, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def _wrap(self, obj, attr: str, component: str) -> None:
+        fn = getattr(obj, attr)
+
+        @functools.wraps(fn)
+        def scoped(*args, **kwargs):
+            self._enter(component)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._exit()
+
+        setattr(obj, attr, scoped)
+
+    # -- attachment (called by CoreModel.run after reset) -------------------
+
+    def attach(self, core) -> None:
+        """Instrument a freshly-reset core instance."""
+        for attr, component in _CORE_SCOPES:
+            if hasattr(core, attr):
+                self._wrap(core, attr, component)
+        self._wrap(core.fetch, "tick", "fetch")
+        self._wrap(core.fetch, "pop_ready", "fetch")
+        self._wrap(core.fetch, "peek_ready", "fetch")
+        self._wrap(core.hier, "load", "memory")
+        self._wrap(core.hier, "store", "memory")
+        lsu = getattr(core, "lsu", None)
+        if lsu is not None and hasattr(lsu, "retire_head"):
+            self._wrap(lsu, "retire_head", "memory")
+        if core.sanitizer is not None:
+            self._wrap(core.sanitizer, "check_cycle", "sanitizer")
+            self._wrap(core.sanitizer, "check_commit", "sanitizer")
+        if core.sampler is not None:
+            self._wrap(core.sampler, "on_cycle", "metrics")
+        if core.faults is not None:
+            self._wrap(core.faults, "on_cycle", "faults")
+
+    def begin_run(self) -> None:
+        """Open the outermost scope; everything unattributed inside the
+        run loop (loop control, drain checks, watchdog) lands in
+        ``run_loop``."""
+        self._run_start = perf_counter()
+        self._enter("run_loop")
+
+    def end_run(self) -> None:
+        self._exit()
+        self.wall += perf_counter() - self._run_start
+
+    # -- reporting ---------------------------------------------------------
+
+    def accounted(self) -> float:
+        return sum(self.self_time.values())
+
+    def breakdown(self) -> List[Tuple[str, float, float]]:
+        """``(component, self_seconds, fraction_of_wall)`` sorted by cost."""
+        wall = self.wall or self.accounted() or 1.0
+        rows = [(name, seconds, seconds / wall)
+                for name, seconds in self.self_time.items()]
+        rows.sort(key=lambda row: -row[1])
+        return rows
+
+    def report(self) -> str:
+        """Human-readable "where did simulation time go" table."""
+        lines = [f"self-profile: {self.wall * 1e3:.1f} ms total",
+                 f"  {'component':<10} {'calls':>9} {'self ms':>9} {'%':>6}"]
+        for name, seconds, fraction in self.breakdown():
+            lines.append(f"  {name:<10} {self.calls.get(name, 0):>9} "
+                         f"{seconds * 1e3:>9.1f} {fraction * 100:>5.1f}%")
+        covered = self.accounted() / self.wall * 100 if self.wall else 0.0
+        lines.append(f"  components cover {covered:.1f}% of measured time")
+        return "\n".join(lines)

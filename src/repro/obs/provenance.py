@@ -1,0 +1,78 @@
+"""Per-run provenance manifests: make every result attributable.
+
+A manifest pins down *what produced a number*: the exact core
+configuration (hashed), the workload trace seed, the git revision of the
+simulator, host wall time, and a digest of the final counters.  The
+resilient runner stamps one onto every captured failure and the sweep
+checkpoints one per figure, so a surprising result in a checkpoint file
+can be traced back to a config + seed + code revision after the fact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+_git_rev_cache: Optional[str] = None
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree ("unknown" outside git)."""
+    global _git_rev_cache
+    if _git_rev_cache is None:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent, capture_output=True,
+                text=True, timeout=5)
+            _git_rev_cache = (out.stdout.strip() if out.returncode == 0
+                              and out.stdout.strip() else "unknown")
+        except (OSError, subprocess.SubprocessError):
+            _git_rev_cache = "unknown"
+    return _git_rev_cache
+
+
+def config_hash(cfg) -> str:
+    """Stable short hash of a config dataclass's full field contents."""
+    payload = repr(sorted(dataclasses.asdict(cfg).items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def counter_digest(stats) -> str:
+    """Stable short digest of a Stats bag (order-independent)."""
+    payload = json.dumps(sorted(stats.counters.items()), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def run_manifest(cfg, profile=None, stats=None,
+                 wall_time: Optional[float] = None, **extra) -> dict:
+    """Provenance record for one (core, workload) simulation."""
+    manifest = {"core": cfg.name, "config_hash": config_hash(cfg),
+                "git_rev": git_rev()}
+    if profile is not None:
+        manifest["app"] = profile.name
+        manifest["trace_seed"] = profile.seed
+    if stats is not None:
+        manifest["counter_digest"] = counter_digest(stats)
+        manifest["committed"] = int(stats.committed)
+        manifest["cycles"] = int(stats.cycles)
+    if wall_time is not None:
+        manifest["wall_time_s"] = round(wall_time, 6)
+    manifest.update(extra)
+    return manifest
+
+
+def figure_manifest(runner, wall_time: float, result) -> dict:
+    """Provenance record for one checkpointed figure of a sweep."""
+    payload = json.dumps(result, sort_keys=True, default=str)
+    return {
+        "git_rev": git_rev(),
+        "n_instrs": runner.n_instrs,
+        "warmup": runner.warmup,
+        "wall_time_s": round(wall_time, 3),
+        "result_digest": hashlib.sha256(payload.encode()).hexdigest()[:16],
+    }

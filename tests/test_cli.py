@@ -1,8 +1,11 @@
 """CLI smoke tests (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs.perfetto import validate_trace
 
 
 class TestCli:
@@ -35,3 +38,61 @@ class TestCli:
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestJsonExport:
+    def test_run_json(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        assert main(["run", "--core", "ino", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500",
+                     "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["core"] == "ino" and doc["app"] == "hmmer"
+        assert doc["ipc"] > 0
+        assert "committed" in doc["counters"]
+        assert doc["manifest"]["config_hash"]
+
+    def test_compare_json(self, capsys, tmp_path):
+        out_path = tmp_path / "cmp.json"
+        assert main(["compare", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500",
+                     "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["baseline"] == "ino"
+        assert {"ino", "ooo", "casino"} <= set(doc["cores"])
+        assert doc["cores"]["casino"]["speedup"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_smoke(self, capsys):
+        assert main(["trace", "--core", "casino", "--app", "mcf",
+                     "-n", "2000", "--warmup", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "dispatch" in out and "commit" in out
+
+    def test_trace_exports(self, capsys, tmp_path):
+        perfetto = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["trace", "--core", "ooo", "--app", "milc",
+                     "-n", "2000", "--warmup", "500",
+                     "--perfetto", str(perfetto),
+                     "--metrics", str(metrics)]) == 0
+        doc = json.loads(perfetto.read_text())
+        assert validate_trace(doc) == []
+        assert doc["traceEvents"]
+        report = json.loads(metrics.read_text())
+        assert report["samples"]
+
+    def test_trace_profile(self, capsys):
+        assert main(["trace", "--core", "ino", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "self-profile" in out and "components cover" in out
+
+    def test_trace_kind_filter(self, capsys):
+        assert main(["trace", "--core", "ino", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500",
+                     "--kinds", "commit"]) == 0
+        out = capsys.readouterr().out
+        assert "commit" in out and "dispatch" not in out

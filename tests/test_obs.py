@@ -1,0 +1,364 @@
+"""Observability layer (repro.obs): event tracer, metrics sampler,
+Perfetto export, self-profiler and provenance manifests.
+
+The load-bearing contract mirrors the sanitizer's: attaching any
+observability instrument never changes a single timing statistic, and
+with everything detached the seed code paths run unchanged (the
+regression-band tests pin the actual figures).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.params import (
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.cores import build_core
+from repro.obs.events import EVENT_KINDS, Tracer
+from repro.obs.metrics import MetricsSampler
+from repro.obs.perfetto import build_trace, validate_trace
+from repro.obs.profile import SelfProfiler
+from repro.obs.provenance import (
+    config_hash,
+    counter_digest,
+    git_rev,
+    run_manifest,
+)
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.suite import SUITE
+from tests.util import alu, div, independent_ops, load, store, with_pcs
+
+#: (core factory, app) — one app per core, per the acceptance criteria.
+CORE_APPS = [
+    (make_ino_config, "hmmer"),
+    (make_casino_config, "mcf"),
+    (make_ooo_config, "milc"),
+]
+
+
+def _workload(app, n=2_000):
+    return SyntheticWorkload(SUITE[app]).generate(n)
+
+
+def _traced_run(make_cfg, app, n=2_000, **kwargs):
+    core = build_core(make_cfg())
+    tracer = Tracer()
+    stats = core.run(_workload(app, n), record_schedule=True,
+                     tracer=tracer, **kwargs)
+    return core, tracer, stats
+
+
+# -- tracer unit behaviour ----------------------------------------------------
+
+class TestTracer:
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=["issue"])
+        tracer.emit("issue", 3, 0)
+        tracer.emit("commit", 4, 0)
+        assert [e.kind for e in tracer.events()] == ["issue"]
+
+    def test_seq_range_filter(self):
+        tracer = Tracer(seq_min=10, seq_max=12)
+        for seq in range(20):
+            tracer.emit("commit", seq, seq)
+        assert [e.seq for e in tracer.events()] == [10, 11, 12]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(kinds=["frobnicate"])
+
+    def test_ring_buffer_bounds_and_counts_drops(self):
+        tracer = Tracer(capacity=8)
+        for cycle in range(20):
+            tracer.emit("issue", cycle, cycle)
+        assert len(tracer) == 8
+        assert tracer.emitted == 20
+        assert tracer.dropped == 12
+        assert [e.cycle for e in tracer.events()] == list(range(12, 20))
+
+    def test_events_sorted_by_cycle(self):
+        tracer = Tracer()
+        tracer.emit("execute_done", 9, 0)   # stamped in the future
+        tracer.emit("issue", 4, 1)
+        assert [e.cycle for e in tracer.events()] == [4, 9]
+
+    def test_events_for_one_seq(self):
+        tracer = Tracer()
+        tracer.emit("dispatch", 0, 7)
+        tracer.emit("issue", 3, 7)
+        tracer.emit("issue", 3, 8)
+        assert [e.kind for e in tracer.events_for(7)] == ["dispatch", "issue"]
+
+
+# -- traced runs on the real cores --------------------------------------------
+
+class TestTracedRuns:
+    @pytest.mark.parametrize("make_cfg,app", CORE_APPS)
+    def test_stream_nonempty_and_monotonic(self, make_cfg, app):
+        _, tracer, stats = _traced_run(make_cfg, app)
+        events = tracer.events()
+        assert events, "traced run produced no events"
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+        for kind in ("dispatch", "wakeup", "issue", "execute_done",
+                     "commit"):
+            assert tracer.counts.get(kind, 0) > 0
+
+    @pytest.mark.parametrize("make_cfg,app", CORE_APPS)
+    def test_commit_events_match_counter(self, make_cfg, app):
+        _, tracer, stats = _traced_run(make_cfg, app)
+        assert tracer.counts["commit"] == int(stats.committed)
+
+    @pytest.mark.parametrize("make_cfg,app", CORE_APPS)
+    def test_observability_does_not_change_timing(self, make_cfg, app):
+        """Tracer + sampler + profiler attached => bit-identical stats."""
+        bare = build_core(make_cfg())
+        plain = bare.run(_workload(app)).as_dict()
+        observed = build_core(make_cfg())
+        instrumented = observed.run(
+            _workload(app), record_schedule=True, tracer=Tracer(),
+            sampler=MetricsSampler(interval=64),
+            profiler=SelfProfiler()).as_dict()
+        assert instrumented == plain
+
+    def test_casino_promotions_match_siq_passes(self):
+        _, tracer, stats = _traced_run(make_casino_config, "mcf")
+        assert tracer.counts.get("siq_promote", 0) == stats["siq_passes"]
+
+    def test_cache_miss_events_on_memory_bound_app(self):
+        _, tracer, stats = _traced_run(make_casino_config, "mcf")
+        assert tracer.counts.get("cache_miss", 0) > 0
+
+    def test_ooo_violation_and_squash_events(self):
+        cfg = dataclasses.replace(make_ooo_config(), store_sets=False)
+        core = build_core(cfg)
+        tracer = Tracer()
+        trace = with_pcs([div(1), store(1, 14, 0xC000),
+                          load(2, 15, 0xC000), alu(3, (2,))]
+                         + independent_ops(8, start_reg=4))
+        stats = core.run(trace, warm_icache=True, tracer=tracer)
+        assert stats.get("mem_order_violations") >= 1
+        assert tracer.counts.get("storeset_violation", 0) >= 1
+        assert tracer.counts.get("squash", 0) == stats.get("squashes")
+
+    def test_wakeup_precedes_issue(self):
+        _, tracer, _ = _traced_run(make_casino_config, "mcf", n=500)
+        by_seq = {}
+        for event in tracer.events():
+            by_seq.setdefault(event.seq, {})[event.kind] = event.cycle
+        checked = 0
+        for seq, kinds in by_seq.items():
+            if "wakeup" in kinds and "issue" in kinds:
+                assert kinds["wakeup"] <= kinds["issue"]
+                checked += 1
+        assert checked > 0
+
+    def test_detached_by_default(self):
+        core = build_core(make_ino_config())
+        core.run(_workload("hmmer", 500))
+        assert core.tracer is None and core.sampler is None
+
+
+# -- metrics sampler -----------------------------------------------------------
+
+class TestMetricsSampler:
+    def _sampled_run(self, interval=50):
+        core = build_core(make_casino_config())
+        sampler = MetricsSampler(interval=interval)
+        stats = core.run(_workload("mcf"), sampler=sampler)
+        return sampler, stats
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(interval=0)
+
+    def test_samples_cover_the_run(self):
+        sampler, stats = self._sampled_run()
+        cycles = sampler.cycles()
+        assert cycles and cycles == sorted(cycles)
+        assert cycles[-1] == int(stats.cycles)
+        assert sum(sampler.series("committed")) == stats.committed
+
+    def test_ipc_series_bounded(self):
+        sampler, _ = self._sampled_run()
+        width = make_casino_config().width
+        assert all(0.0 <= ipc <= width for ipc in sampler.series("ipc"))
+
+    def test_occupancy_within_capacity(self):
+        sampler, _ = self._sampled_run()
+        for name, bins in sampler.occupancy_histograms().items():
+            assert sum(bins.values()) == len(sampler.samples)
+            assert max(bins) <= sampler.capacity[name]
+            assert min(bins) >= 0
+
+    def test_stall_breakdown_matches_final_counters(self):
+        sampler, stats = self._sampled_run()
+        for reason, total in sampler.stall_breakdown().items():
+            assert total == stats[reason]
+
+    def test_report_is_json_exportable(self, tmp_path):
+        from repro.harness.export import write_json
+        sampler, _ = self._sampled_run()
+        path = tmp_path / "metrics.json"
+        write_json(sampler.report(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["n_samples"] == len(sampler.samples)
+
+
+# -- Perfetto export -----------------------------------------------------------
+
+class TestPerfetto:
+    def _doc(self, make_cfg=make_casino_config, app="mcf"):
+        core = build_core(make_cfg())
+        tracer = Tracer()
+        sampler = MetricsSampler(interval=50)
+        core.run(_workload(app), record_schedule=True, tracer=tracer,
+                 sampler=sampler)
+        return build_trace(core.schedule, tracer=tracer, sampler=sampler,
+                           core_name=make_cfg().name)
+
+    @pytest.mark.parametrize("make_cfg,app", CORE_APPS)
+    def test_valid_for_every_core(self, make_cfg, app):
+        doc = self._doc(make_cfg, app)
+        assert doc["traceEvents"]
+        assert validate_trace(doc) == []
+
+    def test_three_phases_per_issued_instruction(self):
+        doc = self._doc()
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cats = {e["cat"] for e in slices}
+        assert cats == {"wait", "exec", "retire"}
+
+    def test_counter_tracks_present(self):
+        doc = self._doc()
+        counters = {e["name"] for e in doc["traceEvents"]
+                    if e["ph"] == "C"}
+        assert "ipc" in counters
+        assert any(name.startswith("occ ") for name in counters)
+
+    def test_json_serialisable(self, tmp_path):
+        doc = self._doc()
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(doc))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_validator_rejects_garbage(self):
+        assert validate_trace({}) != []
+        assert validate_trace({"traceEvents": "nope"}) != []
+        bad_dur = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1,
+             "name": "x"}]}
+        assert validate_trace(bad_dur) != []
+        overlap = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 5, "name": "a"},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 3, "dur": 5, "name": "b"},
+        ]}
+        assert validate_trace(overlap) != []
+
+    def test_validator_accepts_proper_nesting(self):
+        nested = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 10, "name": "a"},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 2, "dur": 3, "name": "b"},
+        ]}
+        assert validate_trace(nested) == []
+
+    def test_wait_only_instruction_renders(self):
+        """A schedule row that never issued still gets a lifetime slice."""
+        trace = with_pcs([alu(1)])
+        entry = (0, trace[0], None, None, 9, False)
+        doc = build_trace([entry])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1 and slices[0]["cat"] == "wait"
+        assert validate_trace(doc) == []
+
+
+# -- self-profiler -------------------------------------------------------------
+
+class TestSelfProfiler:
+    @pytest.mark.parametrize("make_cfg,app", CORE_APPS)
+    def test_components_cover_wall_time(self, make_cfg, app):
+        profiler = SelfProfiler()
+        core = build_core(make_cfg())
+        core.run(_workload(app), profiler=profiler)
+        assert profiler.wall > 0
+        assert profiler.accounted() >= 0.9 * profiler.wall
+        components = dict(profiler.self_time)
+        for expected in ("commit", "dispatch", "fetch", "run_loop"):
+            assert expected in components
+
+    def test_report_format(self):
+        profiler = SelfProfiler()
+        core = build_core(make_casino_config())
+        core.run(_workload("mcf", 500), profiler=profiler)
+        report = profiler.report()
+        assert "self-profile" in report
+        assert "components cover" in report
+        assert "schedule" in report
+
+    def test_nested_scopes_account_self_time(self):
+        profiler = SelfProfiler()
+        profiler._enter("outer")
+        profiler._enter("inner")
+        profiler._exit()
+        profiler._exit()
+        assert profiler.calls == {"outer": 1, "inner": 1}
+        # Self times are disjoint: outer excludes inner's elapsed time.
+        assert profiler.self_time["outer"] >= 0
+        assert profiler.self_time["inner"] >= 0
+
+
+# -- provenance ----------------------------------------------------------------
+
+class TestProvenance:
+    def test_config_hash_stable_and_sensitive(self):
+        assert config_hash(make_casino_config()) == \
+            config_hash(make_casino_config())
+        widened = dataclasses.replace(make_casino_config(), width=4)
+        assert config_hash(widened) != config_hash(make_casino_config())
+
+    def test_counter_digest_tracks_stats(self):
+        core = build_core(make_ino_config())
+        stats = core.run(_workload("hmmer", 500))
+        again = build_core(make_ino_config()).run(_workload("hmmer", 500))
+        assert counter_digest(stats) == counter_digest(again)
+
+    def test_manifest_fields(self):
+        core = build_core(make_casino_config())
+        stats = core.run(_workload("mcf", 500))
+        manifest = run_manifest(make_casino_config(), SUITE["mcf"],
+                                stats=stats, wall_time=0.25)
+        assert manifest["core"] == make_casino_config().name
+        assert manifest["app"] == "mcf"
+        assert manifest["trace_seed"] == SUITE["mcf"].seed
+        assert manifest["wall_time_s"] == 0.25
+        assert len(manifest["config_hash"]) == 12
+        assert len(manifest["counter_digest"]) == 16
+        assert isinstance(git_rev(), str) and git_rev()
+
+    def test_failure_records_carry_manifest(self):
+        """ResilientRunner failures are attributable after the fact."""
+        from repro.engine.faults import Fault, FaultInjector
+        from repro.harness.resilience import ResilientRunner
+        runner = ResilientRunner(
+            n_instrs=1_500, warmup=0, retries=0,
+            fault_hook=lambda cfg, profile: FaultInjector(
+                [Fault("drop_wakeup", seq=40)]))
+        result = runner.run(make_casino_config(), SUITE["mcf"])
+        assert result.failed
+        assert runner.failures
+        manifest = runner.failures[0].manifest
+        assert manifest["app"] == "mcf"
+        assert manifest["config_hash"] == config_hash(make_casino_config())
+
+    def test_checkpoint_stores_manifest(self, tmp_path):
+        from repro.harness.resilience import SweepCheckpoint
+        path = tmp_path / "sweep.ckpt.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.put("Figure 6", {"casino": 1.5},
+                 manifest={"git_rev": "abc", "wall_time_s": 1.0})
+        reloaded = SweepCheckpoint(path)
+        assert reloaded.get("Figure 6")["manifest"]["git_rev"] == "abc"

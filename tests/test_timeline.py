@@ -80,3 +80,56 @@ class TestRendering:
         core.run(_snippet(), warm_icache=True, record_schedule=True)
         text = render_timeline(core.schedule, first=4, count=2)
         assert text.count("\n") == 2
+
+
+class TestEdgeCases:
+    """Hand-built schedule entries exercising the degenerate shapes a
+    squash-heavy or partially-recorded run can produce."""
+
+    def _entry(self, seq, issue_at, done_at, commit_at):
+        inst = with_pcs([alu(seq % 8 + 1)])[0]
+        return (seq, inst, issue_at, done_at, commit_at, False)
+
+    def test_window_where_nothing_issued(self):
+        """No ValueError when no entry in the window ever issued."""
+        window = [self._entry(0, None, None, 5),
+                  self._entry(1, None, None, 9)]
+        text = render_timeline(window)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycles 5..9")
+        assert all("C" in line for line in lines[1:])
+        assert "i" not in "".join(line.split("|")[1] for line in lines[1:])
+
+    def test_issued_but_never_done_renders_wait_only(self):
+        """issue_at set with done_at None marks issue, skips exec bar."""
+        window = [self._entry(0, 3, None, 12),
+                  self._entry(1, 4, 10, 12)]
+        text = render_timeline(window)
+        row0 = text.splitlines()[1]
+        cells = row0.split("|")[1]
+        assert "i" in cells and "C" in cells
+        assert "D" not in cells and "=" not in cells
+
+    def test_span_covers_done_beyond_last_issue(self):
+        window = [self._entry(0, 2, 30, 31)]
+        text = render_timeline(window, width=64)
+        assert text.splitlines()[0].startswith("cycles 2..31")
+
+    def test_single_wait_only_entry(self):
+        assert "C" in render_timeline([self._entry(0, None, None, 0)])
+
+
+class TestIssueOrder:
+    def _entry(self, seq, issue_at):
+        inst = with_pcs([alu(seq % 8 + 1)])[0]
+        return (seq, inst, issue_at, issue_at, issue_at + 1, False)
+
+    def test_ties_break_in_program_order(self):
+        schedule = [self._entry(2, 5), self._entry(0, 5),
+                    self._entry(1, 3)]
+        assert issue_order(schedule) == [1, 0, 2]
+
+    def test_unissued_entries_are_dropped(self):
+        inst = with_pcs([alu(1)])[0]
+        schedule = [(0, inst, None, None, 4, False), self._entry(1, 2)]
+        assert issue_order(schedule) == [1]
