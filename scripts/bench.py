@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Host-side simulator benchmark: how fast does the model itself run?
+
+Simulated results are deterministic, so the repo's correctness suite never
+notices when a refactor makes the simulator 2x slower to *execute*.  This
+harness times a fixed set of (core, app) simulations on the host:
+
+* a warm-up iteration per pair (allocator/caches), then ``--repeats``
+  timed iterations; the report carries the **median and IQR**;
+* a pure-Python **calibration loop** timed alongside, so scores can be
+  normalised (``median / calibration``) and compared across hosts of
+  different speeds — the CI gate checks normalised scores, not seconds;
+* a provenance manifest (git rev, python, platform, config hashes) so a
+  checked-in baseline is attributable.
+
+Run:    python scripts/bench.py [--quick] [--out BENCH_core.json]
+Gate:   python scripts/bench.py --quick --check \
+            --baseline BENCH_core.json --tolerance 0.25
+
+``--check`` exits 1 when any pair's normalised median regresses more than
+``--tolerance`` (fraction) over the baseline, printing the offenders.
+"""
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.params import (  # noqa: E402
+    make_casino_config,
+    make_ino_config,
+    make_ooo_config,
+)
+from repro.cores import build_core  # noqa: E402
+from repro.obs.provenance import config_hash, git_rev  # noqa: E402
+from repro.workloads.generator import SyntheticWorkload  # noqa: E402
+from repro.workloads.suite import get_profile  # noqa: E402
+
+_CORES = {"ino": make_ino_config, "casino": make_casino_config,
+          "ooo": make_ooo_config}
+
+#: (core, app) pairs spanning the cost spectrum: the cheap scoreboard
+#: core, the cascaded-queue core, and the OoO core on a memory-bound and
+#: a compute-bound app.
+PAIRS = (("ino", "hmmer"), ("ino", "mcf"),
+         ("casino", "hmmer"), ("casino", "mcf"),
+         ("ooo", "hmmer"), ("ooo", "mcf"))
+
+
+def calibrate(iters: int = 300_000, repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload (min over ``repeats``).
+
+    The loop shape (attribute-free arithmetic + list append) tracks the
+    interpreter dispatch cost that dominates the simulator itself.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc, out = 0, []
+        for i in range(iters):
+            acc = (acc + i * 31) & 0xFFFF
+            if not i & 1023:
+                out.append(acc)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_pair(core_name: str, app: str, n_instrs: int, warmup: int,
+               repeats: int) -> dict:
+    cfg = _CORES[core_name]()
+    trace = SyntheticWorkload(get_profile(app)).generate(n_instrs)
+    build_core(cfg).run(trace, warmup=warmup)       # untimed warm-up pass
+    times = []
+    cycles = 0
+    for _ in range(repeats):
+        core = build_core(cfg)
+        start = time.perf_counter()
+        stats = core.run(trace, warmup=warmup)
+        times.append(time.perf_counter() - start)
+        cycles = int(stats.cycles)
+    median = statistics.median(times)
+    if len(times) >= 2:
+        quartiles = statistics.quantiles(sorted(times), n=4,
+                                         method="inclusive")
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    return {"median_s": median, "iqr_s": iqr, "repeats": repeats,
+            "cycles": cycles, "kcycles_per_s": cycles / median / 1e3,
+            "config_hash": config_hash(cfg)}
+
+
+def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
+    calibration = calibrate()
+    results = {}
+    for core_name, app in PAIRS:
+        entry = bench_pair(core_name, app, n_instrs, warmup, repeats)
+        entry["normalized"] = entry["median_s"] / calibration
+        results[f"{core_name}/{app}"] = entry
+        print(f"  {core_name}/{app}: median {entry['median_s']:.3f}s "
+              f"(IQR {entry['iqr_s']:.3f}s, "
+              f"{entry['kcycles_per_s']:.0f} kcycles/s, "
+              f"normalized {entry['normalized']:.2f})")
+    return {
+        "manifest": {
+            "git_rev": git_rev(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "n_instrs": n_instrs, "warmup": warmup, "repeats": repeats,
+        },
+        "calibration_s": calibration,
+        "results": results,
+    }
+
+
+def check_regressions(report: dict, baseline_path: Path,
+                      tolerance: float) -> int:
+    """Exit status: 1 when any normalised median regressed > tolerance."""
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    base_results = baseline.get("results", {})
+    failures = []
+    for key, entry in report["results"].items():
+        base = base_results.get(key)
+        if base is None or not base.get("normalized"):
+            print(f"  {key}: no baseline entry (skipped)")
+            continue
+        ratio = entry["normalized"] / base["normalized"]
+        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
+        print(f"  {key}: {ratio:.2f}x baseline ({verdict})")
+        if ratio > 1.0 + tolerance:
+            failures.append((key, ratio))
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{tolerance:.0%} vs {baseline_path}:", file=sys.stderr)
+        for key, ratio in failures:
+            print(f"  {key}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {tolerance:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="host-side simulator benchmark with regression gate")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI profile: 3k instrs, 3 repeats")
+    parser.add_argument("-n", type=int, default=None,
+                        help="instructions per trace (default 8000)")
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed iterations per pair (default 5)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_core.json",
+                        help="where to write the report")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against --baseline and gate")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default="BENCH_core.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed normalised-median regression fraction")
+    args = parser.parse_args(argv)
+
+    n_instrs = args.n if args.n is not None else (3_000 if args.quick
+                                                  else 8_000)
+    warmup = args.warmup if args.warmup is not None else (
+        500 if args.quick else 2_000)
+    repeats = args.repeats if args.repeats is not None else (
+        3 if args.quick else 5)
+
+    print(f"benchmarking {len(PAIRS)} (core, app) pairs: "
+          f"{n_instrs} instrs, {repeats} repeats")
+    report = run_suite(n_instrs, warmup, repeats)
+    print(f"calibration: {report['calibration_s']:.3f}s")
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        return check_regressions(report, Path(args.baseline),
+                                 args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

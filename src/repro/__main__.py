@@ -7,6 +7,8 @@ Commands
 ``compare --app Y``          all Table I cores on one application
 ``trace --core X --app Y``   instrumented run: events, metrics, Perfetto
                              export, simulator self-profile
+``explain Y --core X``       cycle accounting: CPI stack, critical path,
+                             and (with ``--vs Z``) a schedule diff
 ``figure figN``              regenerate one figure of the paper
 ``sweep [out.txt]``          all figures, checkpointed + failure-tolerant
 """
@@ -102,12 +104,16 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from repro.obs.accounting import format_stack_table
     runner = Runner(n_instrs=args.n, warmup=args.warmup,
-                    sanitize=True if args.sanitize else None)
+                    sanitize=True if args.sanitize else None,
+                    accounting=True, sample_interval=args.interval)
     profile = get_profile(args.app)
     rows = []
     base = None
     results = {}
+    reports = {}
+    stalls = {}
     for name in ("ino", "lsc", "freeway", "casino", "ooo"):
         res = runner.run(_CORES[name](), profile)
         if base is None:
@@ -116,8 +122,22 @@ def _cmd_compare(args) -> int:
                      res.energy.total_j / base.energy.total_j])
         results[name] = _result_dict(res, args.n, args.warmup, profile)
         results[name]["speedup"] = res.ipc / base.ipc
+        if res.accounting:
+            reports[name] = results[name]["accounting"] = res.accounting
+        if res.stalls is not None:
+            stalls[name] = results[name]["stalls"] = res.stalls
     print(f"{args.app} ({profile.n_instrs} instrs)")
     print(format_table(["core", "IPC", "speedup", "energy (rel)"], rows))
+    if reports:
+        headers, stack_rows = format_stack_table(reports)
+        print("\nCPI stack (cycles per committed instruction):")
+        print(format_table(headers, stack_rows, float_fmt="{:.3f}"))
+    if stalls:
+        keys = sorted({k for per_core in stalls.values() for k in per_core})
+        stall_rows = [[name] + [int(stalls[name].get(k, 0)) for k in keys]
+                      for name in stalls]
+        print("\nsampled stall counters:")
+        print(format_table(["core"] + keys, stall_rows))
     if args.json:
         from repro.harness.export import write_json
         write_json({"app": args.app, "baseline": "ino", "cores": results},
@@ -143,8 +163,15 @@ def _cmd_trace(args) -> int:
 
     cfg = _load_cfg(args)
     profile = get_profile(args.app)
-    trace = SyntheticWorkload(profile).generate(args.n)
     kinds = args.kinds.split(",") if args.kinds else None
+    if kinds:
+        from repro.obs.events import EVENT_KINDS
+        unknown = sorted(set(kinds) - set(EVENT_KINDS))
+        if unknown:
+            print(f"error: unknown event kind(s): {', '.join(unknown)}\n"
+                  f"valid kinds: {', '.join(EVENT_KINDS)}", file=sys.stderr)
+            return 2
+    trace = SyntheticWorkload(profile).generate(args.n)
     seq_min = seq_max = None
     if args.seq_range:
         lo, _, hi = args.seq_range.partition(":")
@@ -188,6 +215,116 @@ def _cmd_trace(args) -> int:
         print(f"wrote {args.metrics}")
     if profiler is not None:
         print(profiler.report())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    """Explain where the cycles go: live CPI stack, post-mortem critical
+    path, per-edge-type slack — and, with ``--vs``, an instruction-aligned
+    schedule diff against a second core on the *same* trace."""
+    from repro.cores import build_core
+    from repro.obs.accounting import COMPONENTS, CycleAccounting, \
+        format_stack_table
+    from repro.obs.critpath import critical_path, edge_slack
+    from repro.obs.schedulediff import diff_schedules, format_diff_report
+    from repro.workloads.generator import SyntheticWorkload
+
+    profile = get_profile(args.app)
+    trace = SyntheticWorkload(profile).generate(args.n)
+
+    def simulate(core_name):
+        core = build_core(_CORES[core_name]())
+        acct = CycleAccounting()
+        stats = core.run(trace, warmup=args.warmup, record_schedule=True,
+                         sanitize=True if args.sanitize else None,
+                         accounting=acct)
+        hit = core.hier.l1d.cfg.latency
+        return {"stats": stats, "schedule": core.schedule,
+                "accounting": acct.report(), "hit_latency": hit}
+
+    runs = {args.core: simulate(args.core)}
+    if args.vs:
+        if args.vs == args.core:
+            print("error: --vs core must differ from --core",
+                  file=sys.stderr)
+            return 2
+        runs[args.vs] = simulate(args.vs)
+
+    for name, run in runs.items():
+        stats = run["stats"]
+        print(f"{name} on {args.app}: IPC {stats.ipc:.3f} "
+              f"({int(stats.committed)} instrs, {int(stats.cycles)} cycles)")
+    reports = {name: run["accounting"] for name, run in runs.items()}
+    headers, stack_rows = format_stack_table(reports)
+    print("\nCPI stack (cycles per committed instruction):")
+    print(format_table(headers, stack_rows, float_fmt="{:.3f}"))
+
+    for name, run in runs.items():
+        run["critical_path"] = cp = critical_path(
+            run["schedule"], hit_latency=run["hit_latency"])
+        run["edge_slack"] = slack = edge_slack(
+            run["schedule"], hit_latency=run["hit_latency"])
+        print(f"\n{name} critical path: {cp['length']} cycles, "
+              f"{len(cp['path'])} instructions")
+        rows = [[edge, cp["breakdown"][edge],
+                 100.0 * cp["breakdown"][edge] / max(cp["length"], 1)]
+                for edge in sorted(cp["breakdown"],
+                                   key=cp["breakdown"].get, reverse=True)
+                if cp["breakdown"][edge]]
+        print(format_table(["edge type", "cycles", "% of path"], rows,
+                           float_fmt="{:.1f}"))
+        hot = sorted(cp["path"],
+                     key=lambda s: s["exec"] + s["memory"] + s["order_wait"],
+                     reverse=True)[:args.top]
+        if hot:
+            print(f"costliest path instructions (top {len(hot)}):")
+            print(format_table(
+                ["inst", "issue", "done", "exec", "mem", "order wait", "via"],
+                [[s["label"], s["issue_at"], s["done_at"], s["exec"],
+                  s["memory"], s["order_wait"], s["via"]] for s in hot]))
+        slack_rows = [[edge, slack[edge]] for edge in sorted(
+            slack, key=slack.get, reverse=True) if slack[edge]]
+        print(f"{name} whole-schedule slack by edge type:")
+        print(format_table(["edge type", "cycles"], slack_rows))
+
+    diff = None
+    if args.vs:
+        diff = diff_schedules(runs[args.core]["schedule"],
+                              runs[args.vs]["schedule"],
+                              name_a=args.core, name_b=args.vs,
+                              top=args.top,
+                              hit_latency=runs[args.core]["hit_latency"])
+        print()
+        print(format_diff_report(diff))
+
+    if args.json:
+        from repro.harness.export import write_json
+        doc = {"app": args.app, "n_instrs": args.n, "warmup": args.warmup,
+               "core": args.core, "vs": args.vs,
+               "cores": {name: {"ipc": run["stats"].ipc,
+                                "cycles": int(run["stats"].cycles),
+                                "accounting": run["accounting"],
+                                "critical_path": run["critical_path"],
+                                "edge_slack": run["edge_slack"]}
+                         for name, run in runs.items()}}
+        if diff is not None:
+            doc["diff"] = diff
+        write_json(doc, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        import csv
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["core", "component", "cycles", "fraction",
+                             "cpi_contribution"])
+            for name, run in runs.items():
+                report = run["accounting"]
+                for comp in COMPONENTS:
+                    writer.writerow([
+                        name, comp, report["components"][comp],
+                        f"{report['fractions'][comp]:.6f}",
+                        f"{report['cpi_stack'][comp]:.6f}"])
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -254,6 +391,26 @@ def main(argv=None) -> int:
                        help="check microarchitectural invariants every cycle")
     cmp_p.add_argument("--json", metavar="PATH", default=None,
                        help="also write per-core stats + provenance as JSON")
+    cmp_p.add_argument("--interval", type=int, default=200,
+                       help="stall-counter sampling interval in cycles")
+
+    exp_p = sub.add_parser(
+        "explain", help="cycle accounting: CPI stack, critical path, "
+                        "schedule diff")
+    exp_p.add_argument("app", help="application to explain")
+    exp_p.add_argument("--core", choices=sorted(_CORES), default="casino")
+    exp_p.add_argument("--vs", choices=sorted(_CORES), default=None,
+                       help="second core to diff the schedule against")
+    exp_p.add_argument("-n", type=int, default=24_000)
+    exp_p.add_argument("--warmup", type=int, default=6_000)
+    exp_p.add_argument("--top", type=int, default=10,
+                       help="instructions to show in path/diff rankings")
+    exp_p.add_argument("--sanitize", action="store_true",
+                       help="check microarchitectural invariants every cycle")
+    exp_p.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full report (stacks, paths, diff)")
+    exp_p.add_argument("--csv", metavar="PATH", default=None,
+                       help="write the CPI-stack components as CSV")
 
     trace_p = sub.add_parser(
         "trace", help="instrumented run: events, metrics, Perfetto export, "
@@ -305,7 +462,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run,
-            "compare": _cmd_compare, "figure": _cmd_figure,
+            "compare": _cmd_compare, "explain": _cmd_explain,
+            "figure": _cmd_figure,
             "characterize": _cmd_characterize, "trace": _cmd_trace,
             "sweep": _cmd_sweep}[args.command](args)
 

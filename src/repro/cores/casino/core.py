@@ -78,6 +78,39 @@ class CasinoCore(CoreModel):
             occ["lq"] = (len(self.lsu.lq), cfg.lq_size)
         return occ
 
+    # -- cycle-accounting hooks ----------------------------------------------
+
+    def _commit_head(self):
+        """Oldest uncommitted instruction: the ROB head, or — before
+        anything has been renamed into the ROB — the first S-IQ head."""
+        if self.rob:
+            return self.rob[0]
+        if self.queues[0]:
+            return self.queues[0][0]
+        return None
+
+    def _stall_structure(self, head):
+        """Which cascade queue holds the head (``siq0``..``iq``), or
+        ``rob`` once it has issued and is only awaiting completion."""
+        if head.issue_at is not None:
+            return "rob"
+        # An unissued oldest instruction is necessarily at the head of
+        # whichever cascade queue holds it (queues are seq-ordered).
+        last = len(self.queues) - 1
+        for i, queue in enumerate(self.queues):
+            if queue and head is queue[0]:
+                return "iq" if i == last else f"siq{i}"
+        return "rob"
+
+    def _issue_gate(self):
+        """Oldest unissued instruction: non-ready heads are passed
+        *downstream*, so it sits at the head of the most-downstream
+        non-empty queue (the IQ, once anything has reached it)."""
+        for queue in reversed(self.queues):
+            if queue:
+                return queue[0]
+        return None
+
     # -- cycle ----------------------------------------------------------------
 
     def _step(self, cycle: int) -> None:

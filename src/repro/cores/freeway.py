@@ -35,6 +35,16 @@ class FreewayCore(LoadSliceCore):
         occ["yiq"] = (len(self.yiq), self.cfg.yiq_size)
         return occ
 
+    def _stall_structure(self, head):
+        """LSC's structures plus the yielding queue: a head stalled in the
+        Y-IQ is an inter-slice dependence stall, worth its own label."""
+        if head.issue_at is None and head.queue_tag == "Y":
+            return "yiq"
+        return super()._stall_structure(head)
+
+    def _accounting_queues(self):
+        return (self.biq, self.yiq, self.aiq)
+
     def _issue(self, cycle: int) -> None:
         budget = self.cfg.width
         budget = self._issue_queue(self.biq, cycle, budget, "b")

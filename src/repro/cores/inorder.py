@@ -37,6 +37,23 @@ class InOrderCore(CoreModel):
                 "scb": (len(self.scb), self.cfg.scb_size),
                 "sb": (len(self.sb), self.cfg.sq_sb_size)}
 
+    # -- cycle-accounting hooks ----------------------------------------------
+
+    def _commit_head(self):
+        """Oldest uncommitted instruction: SCB head (issued, awaiting
+        in-order write-back) or, with an empty SCB, the stalled IQ head."""
+        if self.scb:
+            return self.scb[0]
+        if self.iq:
+            return self.iq[0]
+        return None
+
+    def _stall_structure(self, head):
+        return "scb" if self.scb and head is self.scb[0] else "iq"
+
+    def _issue_gate(self):
+        return self.iq[0] if self.iq else None
+
     # -- pipeline stages -----------------------------------------------------
 
     def _step(self, cycle: int) -> None:

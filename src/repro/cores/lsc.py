@@ -67,6 +67,24 @@ class LoadSliceCore(CoreModel):
                 "rob": (len(self.rob), self.cfg.rob_size),
                 "sb": (len(self.sb), self.cfg.sq_sb_size)}
 
+    # -- cycle-accounting hooks ----------------------------------------------
+
+    def _commit_head(self):
+        return self.rob[0] if self.rob else None
+
+    def _stall_structure(self, head):
+        if head.issue_at is not None:
+            return "rob"
+        return {"A": "aiq", "B": "biq"}.get(head.queue_tag, "rob")
+
+    def _issue_gate(self):
+        """Oldest unissued instruction across the in-order queue heads."""
+        heads = [q[0] for q in self._accounting_queues() if q]
+        return min(heads, key=lambda e: e.seq) if heads else None
+
+    def _accounting_queues(self):
+        return (self.biq, self.aiq)
+
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)
         self._commit(cycle)

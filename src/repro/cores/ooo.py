@@ -98,6 +98,14 @@ class OutOfOrderCore(CoreModel):
             occ["lq"] = (len(self.lq), cfg.lq_size)
         return occ
 
+    # -- cycle-accounting hooks ----------------------------------------------
+
+    def _commit_head(self):
+        return self.rob[0] if self.rob else None
+
+    def _stall_structure(self, head):
+        return "rob" if head.issue_at is not None else "iq"
+
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)
         self._commit(cycle)

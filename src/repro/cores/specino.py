@@ -43,6 +43,27 @@ class SpecInOCore(CoreModel):
                 "window": (len(self.window), self.cfg.rob_size),
                 "sb": (len(self.sb), self.cfg.sq_sb_size)}
 
+    # -- cycle-accounting hooks ----------------------------------------------
+
+    def _commit_head(self):
+        """The instruction at the commit cursor: in the window if it issued
+        (possibly speculatively), else the oldest unissued IQ entry."""
+        if self.window and self.window[0].seq == self.next_commit:
+            return self.window[0]
+        for entry in self.iq:
+            if entry.issue_at is None:
+                return entry
+        return self.window[0] if self.window else None
+
+    def _stall_structure(self, head):
+        return "window" if head.issue_at is not None else "iq"
+
+    def _issue_gate(self):
+        for entry in self.iq:
+            if entry.issue_at is None:
+                return entry
+        return None
+
     def _step(self, cycle: int) -> None:
         self._retire_stores(cycle)
         self._commit(cycle)

@@ -48,11 +48,12 @@ class InflightInst:
 
     __slots__ = (
         "inst", "seq", "producers", "done_at", "issue_at", "committed",
-        "fill_ready",
+        "dispatch_at", "fill_ready",
         # register renaming state
         "phys", "prev_phys", "fresh_phys", "from_siq",
         # memory state
         "unresolved_older", "forward_store", "sentinel_on", "osca_skipped",
+        "cache_miss",
         # slice-core steering tag ('A' / 'B' / 'Y')
         "queue_tag",
     )
@@ -64,6 +65,7 @@ class InflightInst:
         self.producers = list(producers)
         self.done_at: Optional[int] = None
         self.issue_at: Optional[int] = None
+        self.dispatch_at: Optional[int] = None
         self.committed = False
         self.fill_ready: Optional[int] = None  # store line-fill (RFO) arrival
         self.phys: Optional[int] = None
@@ -74,6 +76,7 @@ class InflightInst:
         self.forward_store: Optional["InflightInst"] = None
         self.sentinel_on: Optional["InflightInst"] = None
         self.osca_skipped = False
+        self.cache_miss = False
         self.queue_tag = ""
 
     def ready(self, cycle: int) -> bool:
@@ -133,6 +136,7 @@ class CoreModel:
         # bit-identical.
         self.tracer = None         # repro.obs.events.Tracer
         self.sampler = None        # repro.obs.metrics.MetricsSampler
+        self.accounting = None     # repro.obs.accounting.CycleAccounting
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -148,6 +152,8 @@ class CoreModel:
         self.last_writer = {}
         self._last_commit_cycle = 0
         self._expected_commit_seq = 0
+        self._last_squash_seq: Optional[int] = None
+        self._last_squash_reason = ""
         if self.schedule is not None:
             self.schedule = []
         self._reset()
@@ -156,7 +162,7 @@ class CoreModel:
             warmup: int = 0, warm_icache: bool = False,
             record_schedule: bool = False, sanitize=None, faults=None,
             deadlock_cycles: Optional[int] = None, tracer=None,
-            sampler=None, profiler=None) -> Stats:
+            sampler=None, profiler=None, accounting=None) -> Stats:
         """Simulate the whole trace; returns the statistics bag.
 
         ``warmup`` discards the counters accumulated while committing the
@@ -165,7 +171,8 @@ class CoreModel:
         ``warm_icache`` pre-installs every code line (for microbenchmarks
         whose timing should not include cold instruction fetch).
         ``record_schedule`` keeps a per-instruction (issue, complete,
-        commit) log for :mod:`repro.harness.timeline` rendering.
+        commit, dispatch) log for :mod:`repro.harness.timeline`
+        rendering and :mod:`repro.obs.critpath` analysis.
         ``sanitize`` enables the microarchitectural invariant sanitizer:
         ``True``/``False`` force it, a :class:`~repro.engine.sanitizer.
         Sanitizer` instance is used as-is, and ``None`` defers to the
@@ -177,15 +184,20 @@ class CoreModel:
         threshold on cycles between commits.
         ``tracer``/``sampler``/``profiler`` attach the observability layer
         (:mod:`repro.obs`): a structured event tracer, an interval metrics
-        sampler and a host wall-clock self-profiler.  All three only read
-        simulator state — attaching them never changes timing, and when
-        left ``None`` (the default) the seed code paths run unchanged.
+        sampler and a host wall-clock self-profiler.  ``accounting``
+        attaches a :class:`~repro.obs.accounting.CycleAccounting` observer
+        that attributes every cycle to one CPI-stack component via the
+        read-only ``_commit_head``/``_stall_structure`` hooks.  All four
+        only read simulator state — attaching them never changes timing,
+        and when left ``None`` (the default) the seed code paths run
+        unchanged.
         """
         from repro.engine.sanitizer import resolve_sanitizer
         self.sanitizer = resolve_sanitizer(sanitize)
         self.faults = faults
         self.tracer = tracer
         self.sampler = sampler
+        self.accounting = accounting
         watchdog = (deadlock_cycles if deadlock_cycles is not None
                     else self.cfg.deadlock_cycles)
         self.schedule = [] if record_schedule else None
@@ -206,6 +218,8 @@ class CoreModel:
                 self._step(cycle)
                 if self.faults is not None:
                     self.faults.on_cycle(self, cycle)
+                if self.accounting is not None:
+                    self.accounting.on_cycle(self, cycle)
                 if self.sanitizer is not None:
                     self.sanitizer.check_cycle(self, cycle)
                 if self.sampler is not None:
@@ -216,6 +230,8 @@ class CoreModel:
                         and self.stats.counters.get("committed", 0) >= warmup):
                     warm_snapshot = dict(self.stats.counters)
                     warm_cycle = cycle
+                    if self.accounting is not None:
+                        self.accounting.on_warmup()
                 if cycle - self._last_commit_cycle > watchdog:
                     raise SimulationError(
                         f"{self.cfg.name}: no commit for {watchdog} cycles at "
@@ -237,6 +253,8 @@ class CoreModel:
                 profiler.end_run()
         if self.sampler is not None:
             self.sampler.finish(self, cycle)
+        if self.accounting is not None:
+            self.accounting.finish(self, cycle)
         self.stats.add("cycles", cycle)
         if warm_snapshot is not None:
             for key, value in warm_snapshot.items():
@@ -267,6 +285,37 @@ class CoreModel:
         """
         return {}
 
+    def _commit_head(self) -> Optional[InflightInst]:
+        """The oldest in-flight (uncommitted) instruction, or ``None`` when
+        the back end is empty.
+
+        This is the cycle-accounting attribution hook: on a cycle where
+        nothing commits, :class:`~repro.obs.accounting.CycleAccounting`
+        asks why *this* instruction is not committing.  Subclasses return
+        the head of whatever structure holds the oldest instruction (ROB,
+        SCB, first S-IQ, ...).  Strictly read-only.
+        """
+        return None
+
+    def _stall_structure(self, head: InflightInst) -> str:
+        """Short name of the structure currently holding ``head`` — the
+        secondary ``component:structure`` detail key of the CPI stack
+        (e.g. ``iq_head_blocked:siq0``).  Strictly read-only."""
+        return ""
+
+    def _issue_gate(self) -> Optional[InflightInst]:
+        """The oldest *unissued* instruction gating in-order issue, or
+        ``None`` for cores (OoO) whose issue stage has no head to block.
+
+        Cycle accounting uses this to tell pure execution latency apart
+        from the in-order penalty the paper targets: a cycle where the
+        commit head is executing *and* nothing issued because this
+        instruction's operands are unready is charged to
+        ``iq_head_blocked`` (or ``load_miss`` when the blocking chain
+        contains an outstanding miss), not to ``base``.  Read-only.
+        """
+        return None
+
     # -- shared helpers ---------------------------------------------------------
 
     def make_entry(self, inst: DynInst) -> InflightInst:
@@ -278,6 +327,7 @@ class CoreModel:
             if writer is not None:
                 producers.append(writer)
         entry = InflightInst(inst, producers)
+        entry.dispatch_at = self.cycle
         if inst.dst is not None:
             self.last_writer[inst.dst] = entry
         if self.faults is not None:
@@ -307,7 +357,8 @@ class CoreModel:
         self._last_commit_cycle = cycle
         if self.schedule is not None:
             self.schedule.append((entry.seq, entry.inst, entry.issue_at,
-                                  entry.done_at, cycle, entry.from_siq))
+                                  entry.done_at, cycle, entry.from_siq,
+                                  entry.dispatch_at))
         if self.tracer is not None:
             self.tracer.emit("commit", cycle, entry.seq,
                              issue_at=entry.issue_at, done_at=entry.done_at,
@@ -348,7 +399,8 @@ class CoreModel:
     def load_latency(self, entry: InflightInst, cycle: int) -> int:
         """Latency of a load that goes to the L1D at ``cycle``."""
         latency = self.hier.load(entry.inst.mem_addr, cycle)
-        if self.tracer is not None and latency > self.hier.l1d.cfg.latency:
+        entry.cache_miss = latency > self.hier.l1d.cfg.latency
+        if self.tracer is not None and entry.cache_miss:
             self.tracer.emit("cache_miss", cycle, entry.seq,
                              addr=entry.inst.mem_addr, latency=latency)
         return latency
@@ -364,11 +416,20 @@ class CoreModel:
     def store_fill_arrived(self, entry: InflightInst, cycle: int) -> bool:
         return entry.fill_ready is not None and cycle >= entry.fill_ready
 
-    def squash_from(self, from_seq: int, cycle: int) -> None:
+    def squash_from(self, from_seq: int, cycle: int,
+                    reason: str = "mem_order") -> None:
         """Rewind fetch to ``from_seq``; subclasses clear their structures
         and must drop ``last_writer`` entries for squashed instructions
-        via :meth:`clean_last_writers`."""
+        via :meth:`clean_last_writers`.
+
+        ``reason`` records *why* the flush happened (``mem_order`` for a
+        memory-order violation — the only cause in the current models —
+        anything else for injected faults or future squash sources) so
+        cycle accounting can attribute the recovery shadow.
+        """
         self.stats.add("squashes")
+        self._last_squash_seq = from_seq
+        self._last_squash_reason = reason
         if self.tracer is not None:
             self.tracer.emit("squash", cycle, from_seq, from_seq=from_seq)
         self.fetch.squash(from_seq, cycle + self.cfg.mispredict_penalty)

@@ -20,7 +20,10 @@ The default check set covers every core model:
 * **dataflow** — a committed instruction never issued before one of its
   register producers completed (a corrupted ready bit shows up here);
 * **load order** — a load that recorded unresolved older stores committed
-  through the sentinel/OSCA value-check path, never around it.
+  through the sentinel/OSCA value-check path, never around it;
+* **accounting** — when a :class:`~repro.obs.accounting.CycleAccounting`
+  observer is attached, its CPI-stack components sum exactly to the
+  counted cycles every cycle (the accounting identity); a no-op otherwise.
 
 The check set is pluggable: pass ``Sanitizer(cycle_checks=[...],
 commit_checks=[...])`` with ``(name, fn)`` pairs, where a cycle check is
@@ -55,6 +58,24 @@ def check_counters(core, cycle: int) -> Optional[str]:
     for name, value in core.stats.counters.items():
         if value < 0:
             return f"counter {name!r} went negative ({value})"
+    return None
+
+
+def check_accounting(core, cycle: int) -> Optional[str]:
+    """Cycle-accounting identity: the CPI-stack components must sum to
+    exactly the number of cycles the accounting observer has counted, and
+    that count must track the engine's cycle counter (the observer runs
+    just before this check, so it has seen ``cycle + 1`` cycles).  A no-op
+    when no accounting observer is attached."""
+    acct = getattr(core, "accounting", None)
+    if acct is None:
+        return None
+    error = acct.identity_error()
+    if error:
+        return error
+    if acct.total_cycles != cycle + 1:
+        return (f"accounting counted {acct.total_cycles} cycles "
+                f"at engine cycle {cycle}")
     return None
 
 
@@ -124,6 +145,7 @@ DEFAULT_CYCLE_CHECKS: List[Tuple[str, Callable]] = [
     ("occupancy", check_occupancy),
     ("counters", check_counters),
     ("rename", check_rename),
+    ("accounting", check_accounting),
 ]
 
 DEFAULT_COMMIT_CHECKS: List[Tuple[str, Callable]] = [

@@ -37,10 +37,11 @@ def _env_lengths(n_instrs: Optional[int],
 
 
 def make_runner(n_instrs: Optional[int] = None,
-                warmup: Optional[int] = None) -> Runner:
+                warmup: Optional[int] = None,
+                accounting: bool = False) -> Runner:
     """A fresh memoising runner with the standard trace length."""
     n_instrs, warmup = _env_lengths(n_instrs, warmup)
-    return Runner(n_instrs=n_instrs, warmup=warmup)
+    return Runner(n_instrs=n_instrs, warmup=warmup, accounting=accounting)
 
 
 def make_resilient_runner(n_instrs: Optional[int] = None,

@@ -36,12 +36,23 @@ def run(runner: Optional[Runner] = None,
         speedups[name] = dict(speedups[name])
         speedups[name]["geomean"] = geomean(
             v for k, v in speedups[name].items() if k != "geomean")
+    if getattr(runner, "accounting", False):
+        # CPI stacks ride along (cached results, no extra simulation) so
+        # the figure can explain *where* each speedup comes from.  The key
+        # is only present on accounting runners, keeping the plain result
+        # shape {model: {app: speedup}} stable.
+        speedups["cpi_stacks"] = {
+            cfg.name: {p.name: runner.run(cfg, p).accounting
+                       for p in profiles}
+            for cfg in [baseline] + models}
     return speedups
 
 
 def main() -> None:
     from repro.harness.tables import format_bars
-    results = run()
+    from repro.obs.accounting import COMPONENTS, format_stack_table
+    results = run(runner=make_runner(accounting=True))
+    stacks = results.pop("cpi_stacks", None)
     models = list(results)
     apps = [a for a in results[models[0]] if a != "geomean"] + ["geomean"]
     rows = [[app] + [results[m][app] for m in models] for app in apps]
@@ -50,6 +61,22 @@ def main() -> None:
     print("\ngeomeans:")
     print(format_bars({"ino": 1.0,
                        **{m: results[m]["geomean"] for m in models}}))
+    if stacks:
+        # Suite-average CPI stack per core: where the cycles went.
+        mean_reports = {}
+        for core, per_app in stacks.items():
+            reports = [r for r in per_app.values() if r]
+            if not reports:
+                continue
+            n = len(reports)
+            mean_reports[core] = {
+                "cpi": sum(r["cpi"] for r in reports) / n,
+                "cpi_stack": {c: sum(r["cpi_stack"][c] for r in reports) / n
+                              for c in COMPONENTS},
+            }
+        headers, stack_rows = format_stack_table(mean_reports)
+        print("\nsuite-average CPI stack (cycles per committed instruction):")
+        print(format_table(headers, stack_rows, float_fmt="{:.3f}"))
 
 
 if __name__ == "__main__":

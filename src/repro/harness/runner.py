@@ -33,6 +33,12 @@ class RunResult:
     energy: EnergyReport
     failed: bool = False
     error: Optional[str] = None
+    #: CPI-stack report (``CycleAccounting.report()``) when the runner was
+    #: built with ``accounting=True``; ``None`` otherwise.
+    accounting: Optional[dict] = None
+    #: Per-reason stall counters (``MetricsSampler.stall_breakdown()``)
+    #: when the runner samples; ``None`` otherwise.
+    stalls: Optional[Dict[str, float]] = None
 
     @property
     def ipc(self) -> float:
@@ -55,13 +61,31 @@ class Runner:
 
     def __init__(self, n_instrs: int = 24_000, warmup: int = 6_000,
                  mem_cfg: Optional[MemoryConfig] = None,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 accounting: bool = False,
+                 sample_interval: Optional[int] = None) -> None:
         self.n_instrs = n_instrs
         self.warmup = warmup
         self.mem_cfg = mem_cfg
         self.sanitize = sanitize
+        #: Attach a CycleAccounting observer to every simulation and carry
+        #: its CPI-stack report on the RunResult.  Observers are read-only,
+        #: so cached results stay valid either way.
+        self.accounting = accounting
+        #: When set, attach a MetricsSampler with this interval and carry
+        #: its stall breakdown on the RunResult.
+        self.sample_interval = sample_interval
         self._traces: Dict[str, list] = {}
         self._results: Dict[tuple, RunResult] = {}
+
+    def _observers(self):
+        """Fresh (accounting, sampler) observers per the runner config."""
+        from repro.obs.accounting import CycleAccounting
+        from repro.obs.metrics import MetricsSampler
+        acct = CycleAccounting() if self.accounting else None
+        sampler = (MetricsSampler(self.sample_interval)
+                   if self.sample_interval else None)
+        return acct, sampler
 
     def trace(self, profile: WorkloadProfile) -> list:
         """The (cached) dynamic trace for a workload profile."""
@@ -78,11 +102,16 @@ class Runner:
         """Uncached single simulation (the seam the resilience layer and
         tests override to inject faults)."""
         core = build_core(cfg, self.mem_cfg)
+        acct, sampler = self._observers()
         stats = core.run(self.trace(profile), warmup=self.warmup,
-                         sanitize=self.sanitize)
+                         sanitize=self.sanitize, accounting=acct,
+                         sampler=sampler)
         report = build_power_model(cfg).energy(stats)
         return RunResult(core=cfg, app=profile.name, stats=stats,
-                         energy=report)
+                         energy=report,
+                         accounting=acct.report() if acct else None,
+                         stalls=(sampler.stall_breakdown()
+                                 if sampler else None))
 
     def run(self, cfg: CoreConfig, profile: WorkloadProfile) -> RunResult:
         """Simulate ``profile`` on ``cfg`` (cached)."""

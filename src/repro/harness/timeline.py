@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.isa.instruction import DynInst
 
 #: One recorded instruction: (seq, inst, issue_at, done_at, commit_at,
-#: from_siq).
+#: from_siq, dispatch_at); pre-dispatch_at 6-field rows still render.
 ScheduleEntry = Tuple[int, DynInst, Optional[int], Optional[int], int, bool]
 
 
@@ -52,7 +52,8 @@ def render_timeline(schedule: Sequence[ScheduleEntry],
         f"cycles {start}..{end}"
         + (f" ({scale} cycles/char)" if scale > 1 else "")
     ]
-    for seq, inst, issue_at, done_at, commit_at, from_siq in window:
+    for row in window:
+        seq, inst, issue_at, done_at, commit_at, from_siq = row[:6]
         cells = [" "] * n_cols
         if issue_at is not None:
             if done_at is not None:

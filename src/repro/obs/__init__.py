@@ -8,14 +8,21 @@ the exact seed code paths — the same disabled-means-bit-identical contract
 the invariant sanitizer established.
 """
 
+from repro.obs.accounting import COMPONENTS, CycleAccounting, \
+    format_stack_table
+from repro.obs.critpath import EDGE_TYPES, critical_path, edge_slack
 from repro.obs.events import EVENT_KINDS, TraceEvent, Tracer
 from repro.obs.metrics import MetricsSampler
 from repro.obs.perfetto import build_trace, validate_trace
 from repro.obs.profile import SelfProfiler
 from repro.obs.provenance import counter_digest, git_rev, run_manifest
+from repro.obs.schedulediff import diff_schedules, format_diff_report
 
 __all__ = [
     "EVENT_KINDS", "TraceEvent", "Tracer", "MetricsSampler",
     "build_trace", "validate_trace", "SelfProfiler",
     "counter_digest", "git_rev", "run_manifest",
+    "COMPONENTS", "CycleAccounting", "format_stack_table",
+    "EDGE_TYPES", "critical_path", "edge_slack",
+    "diff_schedules", "format_diff_report",
 ]

@@ -73,7 +73,10 @@ def build_trace(schedule, tracer=None, sampler=None,
                 dispatch_at[event.seq] = event.cycle
 
     lanes: List[int] = []   # per-lane busy-until cycle
-    for seq, inst, issue_at, done_at, commit_at, from_siq in schedule or ():
+    for row in schedule or ():
+        seq, inst, issue_at, done_at, commit_at, from_siq = row[:6]
+        if len(row) > 6 and row[6] is not None:
+            dispatch_at.setdefault(seq, row[6])
         start = dispatch_at.get(seq)
         if start is None:
             start = issue_at if issue_at is not None else commit_at

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.obs.events import EVENT_KINDS
 from repro.obs.perfetto import validate_trace
 
 
@@ -25,6 +26,10 @@ class TestCli:
                      "-n", "2000", "--warmup", "500"]) == 0
         out = capsys.readouterr().out
         assert "casino" in out and "speedup" in out
+        # S2 + CPI-stack wiring: stall counters and the cycle stack ride
+        # along in the comparison table.
+        assert "CPI stack" in out and "iq_head_blocked" in out
+        assert "sampled stall counters" in out
 
     def test_characterize(self, capsys):
         assert main(["characterize", "--app", "h264ref", "-n", "2000"]) == 0
@@ -96,3 +101,56 @@ class TestTraceCommand:
                      "--kinds", "commit"]) == 0
         out = capsys.readouterr().out
         assert "commit" in out and "dispatch" not in out
+
+    def test_trace_unknown_kind_rejected(self, capsys):
+        # S1: a typo'd kind is a friendly error listing the valid kinds,
+        # not a traceback.
+        assert main(["trace", "--core", "ino", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500",
+                     "--kinds", "commit,frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "frobnicate" in err
+        for kind in EVENT_KINDS:
+            assert kind in err
+
+
+class TestExplainCommand:
+    def test_explain_smoke(self, capsys):
+        assert main(["explain", "mcf", "--core", "casino",
+                     "-n", "2000", "--warmup", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI stack" in out
+        assert "critical path" in out and "edge type" in out
+        assert "slack" in out
+
+    def test_explain_vs_diffs_schedules(self, capsys):
+        assert main(["explain", "mcf", "--core", "casino", "--vs", "ooo",
+                     "-n", "2000", "--warmup", "500", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule diff: casino vs ooo" in out
+        assert "fell behind" in out and "caught up" in out
+        assert "pc=0x" in out
+
+    def test_explain_vs_self_rejected(self, capsys):
+        assert main(["explain", "mcf", "--core", "ooo", "--vs", "ooo",
+                     "-n", "2000", "--warmup", "500"]) == 2
+        assert "differ" in capsys.readouterr().err
+
+    def test_explain_exports(self, capsys, tmp_path):
+        out_json = tmp_path / "explain.json"
+        out_csv = tmp_path / "explain.csv"
+        assert main(["explain", "hmmer", "--core", "ino", "--vs", "ooo",
+                     "-n", "2000", "--warmup", "500",
+                     "--json", str(out_json), "--csv", str(out_csv)]) == 0
+        doc = json.loads(out_json.read_text())
+        assert set(doc["cores"]) == {"ino", "ooo"}
+        for core in doc["cores"].values():
+            stack = core["accounting"]["components"]
+            assert sum(stack.values()) == core["accounting"]["total_cycles"]
+            cp = core["critical_path"]
+            assert sum(cp["breakdown"].values()) == cp["length"]
+        assert doc["diff"]["instructions"] > 0
+        lines = out_csv.read_text().splitlines()
+        assert lines[0].startswith("core,component")
+        # one row per (core, component)
+        assert len(lines) == 1 + 2 * 7

@@ -266,6 +266,15 @@ class TestPerfetto:
         ]}
         assert validate_trace(nested) == []
 
+    def test_legacy_six_field_schedule_rows(self):
+        """Schedules recorded before dispatch_at was added (6-tuples)
+        still export cleanly."""
+        core, tracer, _ = _traced_run(make_ino_config, "hmmer", n=500)
+        legacy = [row[:6] for row in core.schedule]
+        doc = build_trace(legacy, tracer=tracer, core_name="ino")
+        assert validate_trace(doc) == []
+        assert doc["traceEvents"]
+
     def test_wait_only_instruction_renders(self):
         """A schedule row that never issued still gets a lifetime slice."""
         trace = with_pcs([alu(1)])
@@ -353,6 +362,21 @@ class TestProvenance:
         manifest = runner.failures[0].manifest
         assert manifest["app"] == "mcf"
         assert manifest["config_hash"] == config_hash(make_casino_config())
+
+    def test_manifest_stable_across_fresh_runners(self):
+        """S3: same config + seed => identical provenance (config hash
+        and counter digest) from two independent Runner instances."""
+        from repro.harness.runner import Runner
+
+        def manifest_of():
+            runner = Runner(n_instrs=1_500, warmup=300)
+            result = runner.run(make_casino_config(), SUITE["mcf"])
+            return run_manifest(result.core, SUITE["mcf"],
+                                stats=result.stats)
+        first, second = manifest_of(), manifest_of()
+        assert first["config_hash"] == second["config_hash"]
+        assert first["counter_digest"] == second["counter_digest"]
+        assert first["trace_seed"] == second["trace_seed"]
 
     def test_checkpoint_stores_manifest(self, tmp_path):
         from repro.harness.resilience import SweepCheckpoint
