@@ -95,6 +95,41 @@ def bench_pair(core_name: str, app: str, n_instrs: int, warmup: int,
             "config_hash": config_hash(cfg)}
 
 
+def bench_pool_sweep(n_instrs: int, warmup: int, repeats: int,
+                     workers: int = 2) -> dict:
+    """Wall time for the PAIRS batch through the simulation-service
+    worker pool, cold store each repeat — the service path the pooled
+    sweep (``sweep --workers``) takes, dispatch overhead included."""
+    import tempfile
+
+    from repro.service.jobs import JobSpec
+    from repro.service.pool import SimulationPool
+    from repro.service.store import ResultStore
+
+    specs = [JobSpec.make(_CORES[core_name](), get_profile(app),
+                          n_instrs=n_instrs, warmup=warmup)
+             for core_name, app in PAIRS]
+    times = []
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            with SimulationPool(n_workers=workers,
+                                store=ResultStore(tmp)) as pool:
+                start = time.perf_counter()
+                records = pool.run_batch(specs)
+                times.append(time.perf_counter() - start)
+            assert not any(r["failed"] for r in records)
+    median = statistics.median(times)
+    if len(times) >= 2:
+        quartiles = statistics.quantiles(sorted(times), n=4,
+                                         method="inclusive")
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    return {"median_s": median, "iqr_s": iqr, "repeats": repeats,
+            "workers": workers, "jobs": len(specs),
+            "jobs_per_s": len(specs) / median}
+
+
 def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
     calibration = calibrate()
     results = {}
@@ -106,6 +141,13 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
               f"(IQR {entry['iqr_s']:.3f}s, "
               f"{entry['kcycles_per_s']:.0f} kcycles/s, "
               f"normalized {entry['normalized']:.2f})")
+    pool_entry = bench_pool_sweep(n_instrs, warmup, repeats)
+    pool_entry["normalized"] = pool_entry["median_s"] / calibration
+    results["pool/sweep"] = pool_entry
+    print(f"  pool/sweep: median {pool_entry['median_s']:.3f}s for "
+          f"{pool_entry['jobs']} jobs x {pool_entry['workers']} workers "
+          f"({pool_entry['jobs_per_s']:.1f} jobs/s, "
+          f"normalized {pool_entry['normalized']:.2f})")
     return {
         "manifest": {
             "git_rev": git_rev(),

@@ -4,6 +4,13 @@ and dump the results (used to fill in EXPERIMENTS.md).
 
 Run:  python scripts/run_all_experiments.py [output.txt] [--no-resume]
           [--checkpoint PATH] [--retries N] [--sanitize]
+          [--workers N] [--store DIR]
+
+``--workers N`` fans every figure's (core, app, config) grid across N
+worker processes through the simulation service pool; ``--store DIR``
+adds the content-addressed result store, making an immediate rerun of a
+completed sweep near-instant (zero simulations — results are served from
+the store by provenance hash).
 
 The sweep is resumable and failure-tolerant: each completed figure is
 checkpointed to ``<output>.ckpt.json`` (kill it mid-sweep and re-run to

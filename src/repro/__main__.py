@@ -11,6 +11,10 @@ Commands
                              and (with ``--vs Z``) a schedule diff
 ``figure figN``              regenerate one figure of the paper
 ``sweep [out.txt]``          all figures, checkpointed + failure-tolerant
+                             (``--workers N --store DIR`` parallelises
+                             through the simulation service pool + store)
+``serve``                    run the simulation service (HTTP JSON API)
+``submit``                   submit jobs to a running service
 """
 
 from __future__ import annotations
@@ -78,12 +82,37 @@ def _result_dict(res, n_instrs: int, warmup: int, profile=None) -> dict:
     }
 
 
+def _render_simulation_error(exc) -> str:
+    """Human-readable rendering of SimulationError.details for stderr.
+
+    Users of ``run``/``compare`` get the structured diagnostics (which
+    check fired, at what cycle, the core's debug snapshot) instead of a
+    raw traceback, and scripts get a non-zero exit status.
+    """
+    details = dict(getattr(exc, "details", {}) or {})
+    lines = [f"error: simulation failed: {exc}"]
+    for field in ("core", "check", "cycle"):
+        if field in details:
+            lines.append(f"  {field}: {details.pop(field)}")
+    debug = details.pop("debug", None)
+    for key in sorted(details):
+        lines.append(f"  {key}: {details[key]}")
+    if debug:
+        lines.append(f"  debug: {debug}")
+    return "\n".join(lines)
+
+
 def _cmd_run(args) -> int:
+    from repro.engine.core_base import SimulationError
     cfg = _load_cfg(args)
     runner = Runner(n_instrs=args.n, warmup=args.warmup,
                     sanitize=True if args.sanitize else None)
     profile = get_profile(args.app)
-    res = runner.run(cfg, profile)
+    try:
+        res = runner.run(cfg, profile)
+    except SimulationError as exc:
+        print(_render_simulation_error(exc), file=sys.stderr)
+        return 3
     stats = res.stats
     print(f"{args.core} on {args.app}: IPC {res.ipc:.3f} "
           f"({int(stats.committed)} instrs, {int(stats.cycles)} cycles)")
@@ -104,6 +133,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from repro.engine.core_base import SimulationError
     from repro.obs.accounting import format_stack_table
     runner = Runner(n_instrs=args.n, warmup=args.warmup,
                     sanitize=True if args.sanitize else None,
@@ -115,7 +145,11 @@ def _cmd_compare(args) -> int:
     reports = {}
     stalls = {}
     for name in ("ino", "lsc", "freeway", "casino", "ooo"):
-        res = runner.run(_CORES[name](), profile)
+        try:
+            res = runner.run(_CORES[name](), profile)
+        except SimulationError as exc:
+            print(_render_simulation_error(exc), file=sys.stderr)
+            return 3
         if base is None:
             base = res
         rows.append([name, res.ipc, res.ipc / base.ipc,
@@ -361,7 +395,75 @@ def _cmd_sweep(args) -> int:
     from repro.experiments.sweep import run_cli
     return run_cli(output=args.output, checkpoint=args.checkpoint,
                    resume=not args.no_resume, retries=args.retries,
-                   sanitize=True if args.sanitize else None)
+                   sanitize=True if args.sanitize else None,
+                   workers=args.workers, store=args.store)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+    return serve(host=args.host, port=args.port, workers=args.workers,
+                 store_dir=args.store, max_queue=args.queue_size,
+                 timeout=args.timeout)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceBusyError, ServiceClient, \
+        ServiceError
+
+    jobs = []
+    if args.batch:
+        for pair in args.batch.split(","):
+            core, _, app = pair.strip().partition(":")
+            if not core or not app:
+                print(f"error: bad --batch entry {pair!r} "
+                      "(expected core:app)", file=sys.stderr)
+                return 2
+            jobs.append({"core": core, "app": app})
+    else:
+        jobs.append({"core": args.core, "app": args.app})
+    for job in jobs:
+        job.update({"n": args.n, "warmup": args.warmup,
+                    "priority": args.priority})
+
+    client = ServiceClient(args.url)
+    try:
+        accepted = client.submit(jobs, retries_on_busy=args.retries_on_busy)
+    except ServiceBusyError as exc:
+        print(f"error: service busy: {exc} "
+              f"(retry after {exc.retry_after_s:.0f}s)", file=sys.stderr)
+        return 4
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    for entry in accepted:
+        cached = " (cached)" if entry.get("cached") else ""
+        print(f"{entry['id']}: {entry['core']}/{entry['app']} "
+              f"{entry['status']}{cached} key={entry['key']}")
+    if not args.wait:
+        return 0
+
+    finished = client.wait([e["id"] for e in accepted],
+                           timeout_s=args.wait_timeout)
+    rows = []
+    failed = 0
+    for entry in accepted:
+        final = finished[entry["id"]]
+        if final["status"] == "failed":
+            failed += 1
+            rows.append([final["core"], final["app"], "failed",
+                         final.get("error", "?")])
+            continue
+        record = client.result(final["key"])["record"]
+        rows.append([final["core"], final["app"],
+                     f"{record['ipc']:.3f}",
+                     "cached" if entry.get("cached") else "computed"])
+    print(format_table(["core", "app", "IPC", "via"], rows))
+    if args.json:
+        from repro.harness.export import write_json
+        write_json({"jobs": [finished[e["id"]] for e in accepted],
+                    "stats": client.stats()}, args.json)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -459,13 +561,53 @@ def main(argv=None) -> int:
                          help="retry-with-reseed attempts per failed run")
     sweep_p.add_argument("--sanitize", action="store_true",
                          help="check microarchitectural invariants every cycle")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="fan simulations across N worker processes")
+    sweep_p.add_argument("--store", metavar="DIR", default=None,
+                         help="content-addressed result store directory "
+                              "(warm reruns skip completed simulations)")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation service (HTTP JSON API)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642)
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    serve_p.add_argument("--store", metavar="DIR", default=".repro-store",
+                         help="result store directory")
+    serve_p.add_argument("--queue-size", type=int, default=64,
+                         help="bounded job queue (full -> HTTP 429)")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit simulation jobs to a running service")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8642")
+    submit_p.add_argument("--core", choices=sorted(_CORES), default="casino")
+    submit_p.add_argument("--app", default="milc")
+    submit_p.add_argument("--batch", metavar="CORE:APP,CORE:APP,...",
+                          default=None,
+                          help="submit several (core, app) jobs at once")
+    submit_p.add_argument("-n", type=int, default=24_000)
+    submit_p.add_argument("--warmup", type=int, default=6_000)
+    submit_p.add_argument("--priority", type=int, default=100,
+                          help="lower numbers are served first")
+    submit_p.add_argument("--retries-on-busy", type=int, default=0,
+                          help="resubmission attempts on HTTP 429")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until every job finishes, then print "
+                               "a result table")
+    submit_p.add_argument("--wait-timeout", type=float, default=600.0)
+    submit_p.add_argument("--json", metavar="PATH", default=None,
+                          help="with --wait: write final job states + stats")
 
     args = parser.parse_args(argv)
     return {"list": _cmd_list, "run": _cmd_run,
             "compare": _cmd_compare, "explain": _cmd_explain,
             "figure": _cmd_figure,
             "characterize": _cmd_characterize, "trace": _cmd_trace,
-            "sweep": _cmd_sweep}[args.command](args)
+            "sweep": _cmd_sweep, "serve": _cmd_serve,
+            "submit": _cmd_submit}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -54,6 +54,16 @@ def make_resilient_runner(n_instrs: Optional[int] = None,
                            retries=retries, sanitize=sanitize)
 
 
+def make_pooled_runner(pool, n_instrs: Optional[int] = None,
+                       warmup: Optional[int] = None, retries: int = 1,
+                       sanitize: Optional[bool] = None):
+    """A pool+store-backed resilient runner (see repro.service.runner)."""
+    from repro.service.runner import PooledRunner
+    n_instrs, warmup = _env_lengths(n_instrs, warmup)
+    return PooledRunner(pool, n_instrs=n_instrs, warmup=warmup,
+                        retries=retries, sanitize=sanitize)
+
+
 def quick_profiles() -> List[WorkloadProfile]:
     """The representative 8-app subset."""
     return [SUITE[name] for name in QUICK_APPS]

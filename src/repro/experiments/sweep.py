@@ -78,6 +78,14 @@ def run_sweep(runner: ResilientRunner, profiles: Sequence,
         echo(line)
         buffer.write(line + "\n")
 
+    def run_figure(fn):
+        """One figure through the runner — pooled runners batch the
+        figure's whole (core, app, config) grid across workers first."""
+        from repro.service.runner import PooledRunner
+        if isinstance(runner, PooledRunner):
+            return runner.run_figure(fn, profiles)
+        return fn(runner, profiles)
+
     for name, fn in jobs:
         if name in checkpoint:
             entry = checkpoint.get(name)
@@ -88,7 +96,7 @@ def run_sweep(runner: ResilientRunner, profiles: Sequence,
         else:
             start = time.time()
             try:
-                result = fn(runner, profiles)
+                result = run_figure(fn)
             except Exception as exc:  # figure-level containment
                 failures, excluded = runner.drain()
                 emit(f"=== {name} FAILED: {exc!r} ===")
@@ -117,16 +125,42 @@ def run_sweep(runner: ResilientRunner, profiles: Sequence,
 
 def run_cli(output: str = "experiment_results.txt",
             checkpoint: Optional[str] = None, resume: bool = True,
-            retries: int = 1, sanitize: Optional[bool] = None) -> int:
-    """Entry point shared by the script and ``python -m repro sweep``."""
+            retries: int = 1, sanitize: Optional[bool] = None,
+            workers: Optional[int] = None,
+            store: Optional[str] = None) -> int:
+    """Entry point shared by the script and ``python -m repro sweep``.
+
+    ``workers``/``store`` route every simulation through the service
+    worker pool and content-addressed result store: figures fan out
+    across CPUs, and a warm-store rerun recomputes nothing.
+    """
     ckpt = SweepCheckpoint(checkpoint or output + ".ckpt.json")
     if not resume:
         ckpt.clear()
     elif ckpt.completed():
         print(f"resuming: {len(ckpt.completed())} figure(s) checkpointed "
               f"in {ckpt.path}")
-    runner = make_resilient_runner(retries=retries, sanitize=sanitize)
-    run_sweep(runner, default_profiles(), ckpt, out_path=output)
+    if workers or store:
+        from repro.experiments.common import make_pooled_runner
+        from repro.service.pool import SimulationPool
+        from repro.service.store import ResultStore
+        result_store = ResultStore(store) if store else None
+        pool = SimulationPool(n_workers=workers, store=result_store)
+        runner = make_pooled_runner(pool, retries=retries, sanitize=sanitize)
+        print(f"pooled sweep: {pool.n_workers} worker(s)"
+              + (f", store {store}" if store else ""))
+        try:
+            run_sweep(runner, default_profiles(), ckpt, out_path=output)
+        finally:
+            pool.close()
+            if result_store is not None:
+                stats = result_store.stats_snapshot()
+                print(f"store: {stats['hits']} hit(s), "
+                      f"{stats['misses']} miss(es), "
+                      f"{stats['entries']} entries")
+    else:
+        runner = make_resilient_runner(retries=retries, sanitize=sanitize)
+        run_sweep(runner, default_profiles(), ckpt, out_path=output)
     return 0
 
 
@@ -142,10 +176,15 @@ def main(argv=None) -> int:
                         help="reseeded retries per failed run (default 1)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the invariant sanitizer enabled")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan simulations across N worker processes")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed result store directory")
     args = parser.parse_args(argv)
     return run_cli(output=args.output, checkpoint=args.checkpoint,
                    resume=not args.no_resume, retries=args.retries,
-                   sanitize=True if args.sanitize else None)
+                   sanitize=True if args.sanitize else None,
+                   workers=args.workers, store=args.store)
 
 
 if __name__ == "__main__":

@@ -103,10 +103,12 @@ class ResilientRunner(Runner):
                  mem_cfg: Optional[MemoryConfig] = None,
                  sanitize: Optional[bool] = None, retries: int = 1,
                  fault_hook=None, accounting: bool = False,
-                 sample_interval: Optional[int] = None) -> None:
+                 sample_interval: Optional[int] = None,
+                 trace_cache_entries: Optional[int] = None) -> None:
         super().__init__(n_instrs=n_instrs, warmup=warmup, mem_cfg=mem_cfg,
                          sanitize=sanitize, accounting=accounting,
-                         sample_interval=sample_interval)
+                         sample_interval=sample_interval,
+                         trace_cache_entries=trace_cache_entries)
         self.retries = retries
         #: ``fault_hook(cfg, profile) -> Optional[FaultInjector]`` lets
         #: tests (and chaos runs) perturb specific (core, app) pairs.

@@ -9,6 +9,7 @@ pytest benchmarks can share work within a process.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -59,11 +60,18 @@ def _mem_key(mem_cfg: Optional[MemoryConfig]) -> str:
 class Runner:
     """Caches traces and per-(core, memory, app) results."""
 
+    #: Default trace-cache bound.  Traces dominate a runner's footprint
+    #: (tens of MB per 24k-instruction trace set), so long-lived service
+    #: workers need the cache bounded; 64 entries comfortably covers the
+    #: 25-app suite plus seed variants within one figure.
+    DEFAULT_TRACE_CACHE_ENTRIES = 64
+
     def __init__(self, n_instrs: int = 24_000, warmup: int = 6_000,
                  mem_cfg: Optional[MemoryConfig] = None,
                  sanitize: Optional[bool] = None,
                  accounting: bool = False,
-                 sample_interval: Optional[int] = None) -> None:
+                 sample_interval: Optional[int] = None,
+                 trace_cache_entries: Optional[int] = None) -> None:
         self.n_instrs = n_instrs
         self.warmup = warmup
         self.mem_cfg = mem_cfg
@@ -75,7 +83,14 @@ class Runner:
         #: When set, attach a MetricsSampler with this interval and carry
         #: its stall breakdown on the RunResult.
         self.sample_interval = sample_interval
-        self._traces: Dict[str, list] = {}
+        #: LRU bound on the per-profile trace cache (None/0 = unbounded).
+        self.trace_cache_entries = (self.DEFAULT_TRACE_CACHE_ENTRIES
+                                    if trace_cache_entries is None
+                                    else trace_cache_entries)
+        #: Traces evicted over this runner's lifetime (reported by the
+        #: service ``/stats`` endpoint for long-lived worker processes).
+        self.trace_evictions = 0
+        self._traces: "OrderedDict[str, list]" = OrderedDict()
         self._results: Dict[tuple, RunResult] = {}
 
     def _observers(self):
@@ -88,11 +103,17 @@ class Runner:
         return acct, sampler
 
     def trace(self, profile: WorkloadProfile) -> list:
-        """The (cached) dynamic trace for a workload profile."""
+        """The (LRU-cached) dynamic trace for a workload profile."""
         key = f"{profile.name}:{profile.seed}:{self.n_instrs}"
-        if key not in self._traces:
-            self._traces[key] = SyntheticWorkload(profile).generate(self.n_instrs)
-        return self._traces[key]
+        if key in self._traces:
+            self._traces.move_to_end(key)
+            return self._traces[key]
+        trace = SyntheticWorkload(profile).generate(self.n_instrs)
+        self._traces[key] = trace
+        if self.trace_cache_entries and len(self._traces) > self.trace_cache_entries:
+            self._traces.popitem(last=False)
+            self.trace_evictions += 1
+        return trace
 
     def _result_key(self, cfg: CoreConfig, profile: WorkloadProfile) -> tuple:
         return (_cfg_key(cfg), _mem_key(self.mem_cfg), profile.name,

@@ -13,11 +13,34 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import platform
 import subprocess
+import sys
 from pathlib import Path
 from typing import Optional
 
+#: Version of the manifest record layout.  Bumped to 2 when the
+#: interpreter fields (``python``/``platform``) joined the manifest so a
+#: result computed under one interpreter is never mistaken for one
+#: computed under another (the service result store keys on the manifest
+#: digest, which covers these fields).
+MANIFEST_SCHEMA = 2
+
 _git_rev_cache: Optional[str] = None
+
+
+def interpreter_tag() -> str:
+    """Stable tag of the interpreter + platform this process runs under,
+    e.g. ``cpython-3.11.7-linux-x86_64``.  Part of every manifest (and of
+    the service store key): bit-identical simulation is only guaranteed
+    within one interpreter build, so cached results must never cross it.
+    """
+    return "-".join([
+        platform.python_implementation().lower(),
+        platform.python_version(),
+        sys.platform,
+        platform.machine().lower() or "unknown",
+    ])
 
 
 def git_rev() -> str:
@@ -51,8 +74,11 @@ def counter_digest(stats) -> str:
 def run_manifest(cfg, profile=None, stats=None,
                  wall_time: Optional[float] = None, **extra) -> dict:
     """Provenance record for one (core, workload) simulation."""
-    manifest = {"core": cfg.name, "config_hash": config_hash(cfg),
-                "git_rev": git_rev()}
+    manifest = {"schema": MANIFEST_SCHEMA,
+                "core": cfg.name, "config_hash": config_hash(cfg),
+                "git_rev": git_rev(),
+                "python": platform.python_version(),
+                "platform": interpreter_tag()}
     if profile is not None:
         manifest["app"] = profile.name
         manifest["trace_seed"] = profile.seed
@@ -64,6 +90,25 @@ def run_manifest(cfg, profile=None, stats=None,
         manifest["wall_time_s"] = round(wall_time, 6)
     manifest.update(extra)
     return manifest
+
+
+#: Manifest fields that vary run to run without changing *what* was
+#: computed — excluded from the identity digest.
+_VOLATILE_MANIFEST_FIELDS = ("wall_time_s",)
+
+
+def manifest_digest(manifest: dict) -> str:
+    """Stable digest of a manifest's identity fields.
+
+    Hashes every field except host wall time, so two runs of the same
+    (config, seed, app, code rev, interpreter) digest identically while a
+    change to any identity component — including the interpreter — yields
+    a new digest.  The service result store uses this as its cache key.
+    """
+    identity = {k: v for k, v in manifest.items()
+                if k not in _VOLATILE_MANIFEST_FIELDS}
+    payload = json.dumps(identity, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
 def figure_manifest(runner, wall_time: float, result) -> dict:

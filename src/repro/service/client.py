@@ -1,0 +1,114 @@
+"""Minimal stdlib client for the simulation service.
+
+Wraps the JSON API behind typed helpers and understands the service's
+backpressure contract: a 429 raises :class:`ServiceBusyError` carrying
+the server's ``Retry-After`` hint, and :meth:`ServiceClient.submit` can
+optionally honour it with bounded retries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Union
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceBusyError(ServiceError):
+    """429 — the bounded job queue is full; retry after ``retry_after_s``."""
+
+    @property
+    def retry_after_s(self) -> float:
+        return float(self.payload.get("retry_after_s", 1))
+
+
+class ServiceClient:
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = self.base_url + path
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            url, data=data, method="POST" if data else "GET",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except (ValueError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            if exc.code == 429:
+                raise ServiceBusyError(exc.code, body) from None
+            raise ServiceError(exc.code, body) from None
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{job_id}")
+
+    def result(self, key: str) -> dict:
+        return self._request(f"/results/{key}")
+
+    def submit(self, jobs: Union[dict, Sequence[dict]],
+               retries_on_busy: int = 0) -> List[dict]:
+        """Submit one job object or a batch; returns the accepted entries.
+
+        ``retries_on_busy`` re-submits (whole batch) after the server's
+        Retry-After hint when the queue is full.
+        """
+        body = jobs if isinstance(jobs, dict) else {"jobs": list(jobs)}
+        attempts = 0
+        while True:
+            try:
+                response = self._request("/jobs", payload=body)
+                return response["jobs"]
+            except ServiceBusyError as exc:
+                attempts += 1
+                if attempts > retries_on_busy:
+                    raise
+                time.sleep(exc.retry_after_s)
+
+    def wait(self, job_ids: Sequence[str], poll_s: float = 0.25,
+             timeout_s: float = 600.0) -> Dict[str, dict]:
+        """Poll until every job id is done/failed; returns {id: job}."""
+        deadline = time.monotonic() + timeout_s
+        done: Dict[str, dict] = {}
+        remaining = list(job_ids)
+        while remaining:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{len(remaining)} job(s) still pending after "
+                    f"{timeout_s}s: {remaining[:4]}")
+            still = []
+            for job_id in remaining:
+                entry = self.job(job_id)
+                if entry["status"] in ("done", "failed"):
+                    done[job_id] = entry
+                else:
+                    still.append(job_id)
+            remaining = still
+            if remaining:
+                time.sleep(poll_s)
+        return done

@@ -1,0 +1,192 @@
+"""Job specs and the worker-side execute function.
+
+A :class:`JobSpec` is the picklable, JSON-able description of one
+simulation: full core/memory/profile field dicts plus trace lengths and
+retry policy.  :func:`execute_job` runs one spec inside a worker process
+through a (per-process, reused) :class:`ResilientRunner` — so pool
+workers get retry-with-reseed, failure capture and the bounded trace
+cache for free — and returns a **deterministic** result record: no wall
+times or per-worker state, so two workers computing the same spec write
+byte-identical store entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.params import CoreConfig, MemoryConfig
+from repro.common.stats import Stats
+from repro.harness.runner import RunResult
+from repro.power.accounting import EnergyReport
+from repro.workloads.generator import WorkloadProfile
+
+#: Version of the result-record layout carried inside store entries.
+RECORD_SCHEMA = 1
+
+
+@dataclass
+class JobSpec:
+    """One simulation request, fully self-describing and picklable."""
+
+    core: dict                      # dataclasses.asdict(CoreConfig)
+    profile: dict                   # dataclasses.asdict(WorkloadProfile)
+    n_instrs: int = 24_000
+    warmup: int = 6_000
+    mem: Optional[dict] = None      # dataclasses.asdict(MemoryConfig)
+    sanitize: Optional[bool] = None
+    retries: int = 1
+    accounting: bool = False
+    #: Test hook: makes the *worker process* exit hard before simulating,
+    #: exercising the pool's worker-death path.  Ignored when executing
+    #: serially in the parent.
+    test_kill: bool = False
+
+    @classmethod
+    def make(cls, cfg: CoreConfig, profile: WorkloadProfile,
+             n_instrs: int = 24_000, warmup: int = 6_000,
+             mem_cfg: Optional[MemoryConfig] = None, **kw) -> "JobSpec":
+        return cls(core=dataclasses.asdict(cfg),
+                   profile=dataclasses.asdict(profile),
+                   n_instrs=n_instrs, warmup=warmup,
+                   mem=dataclasses.asdict(mem_cfg) if mem_cfg else None,
+                   **kw)
+
+    # -- materialised views ----------------------------------------------------
+
+    def core_config(self) -> CoreConfig:
+        return CoreConfig(**self.core)
+
+    def workload_profile(self) -> WorkloadProfile:
+        return WorkloadProfile(**self.profile)
+
+    def memory_config(self) -> Optional[MemoryConfig]:
+        if self.mem is None:
+            return None
+        mem = dict(self.mem)
+        from repro.common.params import CacheConfig, DramConfig
+        for level in ("l1i", "l1d", "l2"):
+            if isinstance(mem.get(level), dict):
+                mem[level] = CacheConfig(**mem[level])
+        if isinstance(mem.get("dram"), dict):
+            mem["dram"] = DramConfig(**mem["dram"])
+        return MemoryConfig(**mem)
+
+    def key(self) -> str:
+        from repro.service.store import result_key
+        return result_key(self.core_config(), self.workload_profile(),
+                          self.n_instrs, self.warmup, self.memory_config())
+
+    def label(self) -> str:
+        return f"{self.core.get('name')}/{self.profile.get('name')}"
+
+
+# -- worker-side execution ---------------------------------------------------
+
+#: Per-process runner cache, keyed by the runner-shaping spec fields.
+#: Reusing the runner across jobs keeps the (bounded, LRU) trace cache
+#: warm inside a long-lived worker.
+_RUNNERS: Dict[Tuple, "object"] = {}
+
+#: Set by the pool's worker main so test hooks only fire inside workers.
+IN_WORKER = False
+
+
+def _runner_for(spec: JobSpec):
+    from repro.harness.resilience import ResilientRunner
+    key = (spec.n_instrs, spec.warmup, spec.sanitize, spec.retries,
+           spec.accounting,
+           None if spec.mem is None else tuple(sorted(map(str, spec.mem.items()))))
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        runner = ResilientRunner(
+            n_instrs=spec.n_instrs, warmup=spec.warmup,
+            mem_cfg=spec.memory_config(), sanitize=spec.sanitize,
+            retries=spec.retries, accounting=spec.accounting)
+        _RUNNERS[key] = runner
+    return runner
+
+
+def trace_evictions() -> int:
+    """Total trace-cache evictions across this process's runners."""
+    return sum(r.trace_evictions for r in _RUNNERS.values())
+
+
+def result_record(res: RunResult, spec: JobSpec) -> dict:
+    """Deterministic, JSON-able record of one RunResult.
+
+    Everything volatile (wall time, worker identity) stays out; the
+    manifest contributes only identity + counter-digest fields.
+    """
+    from repro.obs.provenance import run_manifest
+    profile = spec.workload_profile()
+    record = {
+        "schema": RECORD_SCHEMA,
+        "core": res.core.name,
+        "app": res.app,
+        "failed": bool(res.failed),
+        "error": res.error,
+        "n_instrs": spec.n_instrs,
+        "warmup": spec.warmup,
+        "ipc": res.ipc,
+        # int/float-ness is preserved: the counter digest of the
+        # reconstructed Stats must match the live one bit for bit.
+        "counters": {k: (v if isinstance(v, int) else float(v))
+                     for k, v in res.stats.counters.items()},
+        "energy": {
+            "dynamic_j": res.energy.dynamic_j,
+            "leakage_j": res.energy.leakage_j,
+            "by_group": dict(res.energy.by_group),
+            "cycles": res.energy.cycles,
+            "committed": res.energy.committed,
+        },
+        "manifest": run_manifest(res.core, profile, stats=res.stats),
+    }
+    if res.accounting is not None:
+        record["accounting"] = res.accounting
+    return record
+
+
+def record_to_result(record: dict, spec: JobSpec) -> RunResult:
+    """Rebuild a RunResult (Stats, EnergyReport) from a stored record."""
+    stats = Stats()
+    for name, value in record.get("counters", {}).items():
+        stats.counters[name] = value
+    energy = record.get("energy", {})
+    report = EnergyReport(
+        dynamic_j=energy.get("dynamic_j", 0.0),
+        leakage_j=energy.get("leakage_j", 0.0),
+        by_group=dict(energy.get("by_group", {})),
+        cycles=energy.get("cycles", stats.cycles),
+        committed=energy.get("committed", stats.committed))
+    return RunResult(core=spec.core_config(), app=record.get("app", ""),
+                     stats=stats, energy=report,
+                     failed=bool(record.get("failed")),
+                     error=record.get("error"),
+                     accounting=record.get("accounting"))
+
+
+def failure_record(spec: JobSpec, error: str, status: str = "error") -> dict:
+    """Placeholder record for a job the pool could not complete (worker
+    death, timeout, cancellation).  Never written to the store."""
+    return {"schema": RECORD_SCHEMA, "core": spec.core.get("name"),
+            "app": spec.profile.get("name"), "failed": True,
+            "error": error, "status": status,
+            "n_instrs": spec.n_instrs, "warmup": spec.warmup,
+            "ipc": 0.0, "counters": {}, "energy": {}}
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run one spec (in this process) and return its result record.
+
+    ``SimulationError`` never escapes: the underlying ResilientRunner
+    retries with reseeded traces and degrades to a ``failed`` record.
+    """
+    if spec.test_kill and IN_WORKER:
+        import os
+        os._exit(43)
+    runner = _runner_for(spec)
+    res = runner.run(spec.core_config(), spec.workload_profile())
+    runner.drain()  # failure bookkeeping is per-job, not per-process
+    return result_record(res, spec)

@@ -1,0 +1,404 @@
+"""Multiprocessing worker pool for simulation jobs.
+
+Fans :class:`~repro.service.jobs.JobSpec` jobs across long-lived worker
+processes (each reusing a :class:`ResilientRunner`, so retry-with-reseed
+and the bounded trace cache come along).  The parent keeps full control
+by doing the dispatching itself: every worker has its own job queue and
+holds at most one job at a time, recorded parent-side at assignment.  A
+worker that dies — even so abruptly that none of its messages ever
+flushed — therefore always has an identifiable casualty job.
+
+* **Store integration** — a submitted job whose key is already in the
+  result store completes instantly without touching a worker; freshly
+  computed records are written back atomically.
+* **Per-job timeouts** — a job running past ``timeout`` seconds gets its
+  worker terminated and is reported failed; a replacement worker spawns.
+* **Worker-death containment** — a job whose worker dies is re-executed
+  *serially in the parent* (a worker-killer must not take down the rest
+  of the fleet); once ``max_worker_deaths`` is reached the pool stops
+  respawning and degrades to serial execution for everything remaining.
+* **Cancellation** — :meth:`cancel_pending` flushes every job still in
+  the parent's backlog (i.e. not yet handed to a worker).
+
+All coordination happens in :meth:`tick`, which the blocking helpers
+(:meth:`wait`, :meth:`run_batch`) call in a loop and which an HTTP server
+can call from its own dispatcher thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service import jobs as jobs_mod
+from repro.service.jobs import JobSpec, execute_job, failure_record
+from repro.service.store import ResultStore
+
+_POISON = None
+
+
+def _worker_main(job_q, result_q) -> None:
+    """Worker loop: execute one spec at a time until the poison pill.
+
+    Messages back to the parent are ``(kind, job_id, pid, payload,
+    trace_evictions)`` tuples; ``trace_evictions`` is the cumulative
+    eviction count of this process's runners (for ``/stats``).
+    """
+    jobs_mod.IN_WORKER = True
+    pid = os.getpid()
+    while True:
+        item = job_q.get()
+        if item is _POISON:
+            result_q.put(("bye", -1, pid, None, jobs_mod.trace_evictions()))
+            return
+        job_id, spec = item
+        try:
+            record = execute_job(spec)
+            result_q.put(("done", job_id, pid, record,
+                          jobs_mod.trace_evictions()))
+        except BaseException as exc:  # keep the worker loop alive
+            result_q.put(("error", job_id, pid, repr(exc),
+                          jobs_mod.trace_evictions()))
+
+
+class SimulationPool:
+    """Store-aware multiprocessing pool for simulation jobs."""
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = None,
+                 max_worker_deaths: int = 3,
+                 mp_context: Optional[str] = None) -> None:
+        self.n_workers = max(1, n_workers if n_workers is not None
+                             else (os.cpu_count() or 1))
+        self.store = store
+        self.timeout = timeout
+        self.max_worker_deaths = max_worker_deaths
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._result_q = None
+        self._workers: Dict[int, multiprocessing.Process] = {}
+        #: pid -> that worker's private job queue (one job in flight max).
+        self._worker_qs: Dict[int, object] = {}
+        #: pid -> (job_id, assignment time) while a job is in flight.
+        self._assigned: Dict[int, Tuple[int, float]] = {}
+        self._started = False
+        self._closed = False
+        self._degraded = False
+        self._cancelling = False
+        self._seq = 0
+        #: job ids submitted but not yet handed to a worker, FIFO.
+        self._backlog: List[int] = []
+        #: job_id -> spec for every job not yet resolved to a record.
+        self._pending: Dict[int, JobSpec] = {}
+        self._records: Dict[int, dict] = {}
+        self._keys: Dict[int, str] = {}
+        self._evictions_by_pid: Dict[int, int] = {}
+        self.stats: Dict[str, int] = {
+            "submitted": 0, "cached": 0, "dispatched": 0, "completed": 0,
+            "failed": 0, "timeouts": 0, "worker_deaths": 0,
+            "serial_fallbacks": 0, "cancelled": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._result_q = self._ctx.Queue()
+        for _ in range(self.n_workers):
+            self._spawn_worker()
+        self._started = True
+
+    def _spawn_worker(self) -> None:
+        job_q = self._ctx.Queue()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(job_q, self._result_q), daemon=True)
+        proc.start()
+        self._workers[proc.pid] = proc
+        self._worker_qs[proc.pid] = job_q
+
+    def close(self) -> None:
+        """Stop the workers (pending jobs are abandoned — wait first)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for pid, job_q in self._worker_qs.items():
+                if self._workers.get(pid) is not None \
+                        and self._workers[pid].is_alive():
+                    try:
+                        job_q.put(_POISON)
+                    except (OSError, ValueError):
+                        pass
+            deadline = time.monotonic() + 5.0
+            for proc in self._workers.values():
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            self._drain_messages()
+            for q in [self._result_q] + list(self._worker_qs.values()):
+                q.close()
+                q.cancel_join_thread()
+        self._workers.clear()
+        self._worker_qs.clear()
+        self._assigned.clear()
+
+    def __enter__(self) -> "SimulationPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool gave up on workers and runs jobs serially."""
+        return self._degraded
+
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._workers.values() if p.is_alive())
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> int:
+        """Queue one job; returns its pool-local job id.
+
+        A store hit resolves the job immediately (no worker involved).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._seq += 1
+        job_id = self._seq
+        self.stats["submitted"] += 1
+        key = spec.key() if self.store is not None else None
+        self._keys[job_id] = key
+        if key is not None:
+            record = self.store.get(key)
+            if record is not None:
+                self._records[job_id] = record
+                self.stats["cached"] += 1
+                return job_id
+        self._pending[job_id] = spec
+        if self._degraded:
+            self._run_serial(job_id, spec)
+            return job_id
+        self.start()
+        self._cancelling = False
+        self._backlog.append(job_id)
+        self._maybe_respawn()
+        self._assign_backlog()
+        return job_id
+
+    def cancel_pending(self) -> None:
+        """Flush every job that has not been handed to a worker."""
+        self._cancelling = True
+        for job_id in list(self._backlog):
+            self._resolve_cancelled(job_id)
+        self._backlog.clear()
+
+    # -- status ----------------------------------------------------------------
+
+    def done(self, job_id: int) -> bool:
+        return job_id in self._records
+
+    def record(self, job_id: int) -> Optional[dict]:
+        return self._records.get(job_id)
+
+    def status(self, job_id: int) -> str:
+        if job_id in self._records:
+            record = self._records[job_id]
+            return "failed" if record.get("failed") else "done"
+        if any(job == job_id for job, _ in self._assigned.values()):
+            return "running"
+        if job_id in self._pending:
+            return "queued"
+        return "unknown"
+
+    def stats_snapshot(self) -> dict:
+        snapshot = dict(self.stats)
+        snapshot["trace_evictions"] = sum(self._evictions_by_pid.values())
+        snapshot["workers"] = self.alive_workers()
+        snapshot["degraded"] = self._degraded
+        snapshot["pending"] = len(self._pending)
+        return snapshot
+
+    # -- the event loop --------------------------------------------------------
+
+    def tick(self, block_s: float = 0.05) -> None:
+        """One scheduling step: collect results, enforce deadlines, reap
+        dead workers, hand out backlog, degrade when the fleet is gone."""
+        self._drain_messages(block_s if self._pending else 0.0)
+        self._enforce_timeouts()
+        self._reap_dead_workers()
+        if self._pending and not self._degraded and not self.alive_workers():
+            self._degraded = True
+        if self._degraded:
+            self._run_backlog_serially()
+        else:
+            self._assign_backlog()
+
+    def wait(self, job_ids: Optional[Sequence[int]] = None,
+             deadline_s: Optional[float] = None) -> None:
+        """Block until the given jobs (default: all) are resolved."""
+        target = set(job_ids) if job_ids is not None else None
+        start = time.monotonic()
+        while True:
+            unresolved = (self._pending if target is None
+                          else target & set(self._pending))
+            if not unresolved:
+                return
+            if (deadline_s is not None
+                    and time.monotonic() - start > deadline_s):
+                raise TimeoutError(
+                    f"{len(unresolved)} job(s) unresolved after "
+                    f"{deadline_s}s")
+            self.tick()
+
+    def run_batch(self, specs: Sequence[JobSpec]) -> List[dict]:
+        """Submit ``specs``, wait for all, return records in order."""
+        ids = [self.submit(spec) for spec in specs]
+        self.wait(ids)
+        return [self._records[job_id] for job_id in ids]
+
+    # -- internals -------------------------------------------------------------
+
+    def _assign_backlog(self) -> None:
+        """Hand backlog jobs to idle workers (parent-side dispatch)."""
+        if not self._started or self._cancelling:
+            return
+        for pid, proc in self._workers.items():
+            if not self._backlog:
+                return
+            if pid in self._assigned or not proc.is_alive():
+                continue
+            job_id = self._backlog.pop(0)
+            if job_id not in self._pending:  # already resolved (cancel)
+                continue
+            self._worker_qs[pid].put((job_id, self._pending[job_id]))
+            self._assigned[pid] = (job_id, time.monotonic())
+            self.stats["dispatched"] += 1
+
+    def _drain_messages(self, block_s: float = 0.0) -> None:
+        if self._result_q is None:
+            return
+        block = block_s > 0.0
+        while True:
+            try:
+                msg = self._result_q.get(timeout=block_s) if block \
+                    else self._result_q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+            block = False  # only block for the first message per tick
+            kind, job_id, pid, payload, evictions = msg
+            if evictions is not None:
+                self._evictions_by_pid[pid] = evictions
+            if kind == "done":
+                self._assigned.pop(pid, None)
+                self._resolve(job_id, payload)
+            elif kind == "error":
+                self._assigned.pop(pid, None)
+                spec = self._pending.get(job_id)
+                if spec is not None:
+                    self._resolve(job_id, failure_record(
+                        spec, f"worker error: {payload}"))
+            # "bye" only carries the final eviction count.
+
+    def _resolve(self, job_id: int, record: dict) -> None:
+        if job_id not in self._pending and job_id in self._records:
+            return
+        self._pending.pop(job_id, None)
+        self._records[job_id] = record
+        if record.get("failed"):
+            self.stats["failed"] += 1
+        else:
+            self.stats["completed"] += 1
+            key = self._keys.get(job_id)
+            if self.store is not None and key is not None:
+                self.store.put(key, record)
+
+    def _resolve_cancelled(self, job_id: int) -> None:
+        spec = self._pending.get(job_id)
+        if spec is None:
+            return
+        self._pending.pop(job_id, None)
+        self._records[job_id] = failure_record(spec, "cancelled",
+                                               status="cancelled")
+        self.stats["cancelled"] += 1
+
+    def _enforce_timeouts(self) -> None:
+        if not self.timeout:
+            return
+        now = time.monotonic()
+        for pid in list(self._assigned):
+            job_id, started = self._assigned[pid]
+            if now - started <= self.timeout:
+                continue
+            proc = self._workers.get(pid)
+            if proc is not None:
+                proc.terminate()
+                proc.join(timeout=1.0)
+                self._retire_worker(pid)
+            self._assigned.pop(pid, None)
+            spec = self._pending.get(job_id)
+            if spec is not None:
+                self.stats["timeouts"] += 1
+                self._resolve(job_id, failure_record(
+                    spec, f"timed out after {self.timeout}s",
+                    status="timeout"))
+            self._maybe_respawn()
+
+    def _retire_worker(self, pid: int) -> None:
+        self._workers.pop(pid, None)
+        job_q = self._worker_qs.pop(pid, None)
+        if job_q is not None:
+            job_q.close()
+            job_q.cancel_join_thread()
+
+    def _reap_dead_workers(self) -> None:
+        for pid in list(self._workers):
+            if self._workers[pid].is_alive():
+                continue
+            self._retire_worker(pid)
+            if self._closed:
+                continue
+            self.stats["worker_deaths"] += 1
+            died_with = self._assigned.pop(pid, None)
+            if died_with is not None:
+                # Re-execute the casualty's job serially: a worker-killer
+                # must not be given a second worker to kill.  The
+                # assignment map is parent-side state, so the casualty is
+                # known even if the worker died before any message
+                # flushed.
+                job_id = died_with[0]
+                spec = self._pending.get(job_id)
+                if spec is not None:
+                    self._run_serial(job_id, spec)
+            self._maybe_respawn()
+
+    def _maybe_respawn(self) -> None:
+        if (self._closed or self._degraded
+                or self.stats["worker_deaths"] >= self.max_worker_deaths):
+            return
+        while len(self._workers) < self.n_workers and self._pending:
+            self._spawn_worker()
+
+    def _run_backlog_serially(self) -> None:
+        for job_id in list(self._backlog):
+            if self._cancelling:
+                self._resolve_cancelled(job_id)
+            elif job_id in self._pending:
+                self._run_serial(job_id, self._pending[job_id])
+        self._backlog.clear()
+
+    def _run_serial(self, job_id: int, spec: JobSpec) -> None:
+        """Execute one job in the parent process (degraded mode)."""
+        self.stats["serial_fallbacks"] += 1
+        try:
+            record = execute_job(spec)
+        except Exception as exc:  # pragma: no cover - defensive
+            record = failure_record(spec, f"serial execution failed: {exc!r}")
+        self._resolve(job_id, record)

@@ -1,0 +1,357 @@
+"""Stdlib HTTP JSON API in front of the pool + store.
+
+Endpoints
+---------
+``POST /jobs``            submit one job (``{"core": ..., "app": ...}``)
+                          or a batch (``{"jobs": [...]}``); responds 202
+                          with one entry per job, or **429** with a
+                          ``Retry-After`` header when the bounded queue
+                          is full (explicit backpressure — clients retry,
+                          the server never buffers unboundedly).
+``GET /jobs/<id>``        job status: queued | running | done | failed
+``GET /results/<key>``    the raw store record for a result key
+``GET /healthz``          liveness (also reports worker count)
+``GET /stats``            store hits/misses/evictions/quarantines, pool
+                          counters (incl. trace-cache evictions), queue
+                          depth, jobs by status
+
+Submissions land in a bounded **priority queue** (lower number = served
+first; ties FIFO).  A single dispatcher thread moves jobs from that
+queue into the multiprocessing pool — keeping at most ``2 x workers``
+jobs in flight so late high-priority submissions overtake queued
+low-priority ones — and resolves completions back into the job registry.
+A job whose key is already in the store completes at submission time
+without ever touching the queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import queue
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.common.params import CoreConfig
+from repro.service.jobs import JobSpec
+from repro.service.pool import SimulationPool
+from repro.service.store import ResultStore
+
+#: Priority used when a submission does not specify one.
+DEFAULT_PRIORITY = 100
+
+#: Hint sent with 429 responses.
+RETRY_AFTER_S = 2
+
+
+class QueueFullError(Exception):
+    """The bounded submission queue is at capacity."""
+
+
+class BadJobError(Exception):
+    """The submitted job spec is invalid."""
+
+
+def _core_factories() -> dict:
+    from repro.__main__ import _CORES
+    return _CORES
+
+
+def spec_from_request(body: dict) -> JobSpec:
+    """Validate one submitted job object into a JobSpec.
+
+    ``core`` is a known core name or a full config object; ``app`` is a
+    suite application name or ``profile`` a full profile object.
+    """
+    if not isinstance(body, dict):
+        raise BadJobError("job must be a JSON object")
+    core = body.get("core", "casino")
+    if isinstance(core, str):
+        factories = _core_factories()
+        if core not in factories:
+            raise BadJobError(
+                f"unknown core {core!r}; valid: {', '.join(sorted(factories))}")
+        cfg = factories[core]()
+    elif isinstance(core, dict):
+        try:
+            from repro.common.config_io import core_config_from_dict
+            cfg = core_config_from_dict(core)
+        except Exception as exc:
+            raise BadJobError(f"bad core config: {exc}")
+    else:
+        raise BadJobError("core must be a name or a config object")
+    profile = body.get("profile")
+    if profile is None:
+        app = body.get("app")
+        if not isinstance(app, str):
+            raise BadJobError("job needs an 'app' name or a 'profile' object")
+        from repro.workloads.suite import SUITE
+        if app not in SUITE:
+            raise BadJobError(f"unknown app {app!r}")
+        profile_obj = SUITE[app]
+    else:
+        try:
+            from repro.workloads.generator import WorkloadProfile
+            profile_obj = WorkloadProfile(**profile)
+        except (TypeError, ValueError) as exc:
+            raise BadJobError(f"bad profile: {exc}")
+    try:
+        n_instrs = int(body.get("n", body.get("n_instrs", 24_000)))
+        warmup = int(body.get("warmup", 6_000))
+    except (TypeError, ValueError):
+        raise BadJobError("'n' and 'warmup' must be integers")
+    return JobSpec(core=dataclasses.asdict(cfg),
+                   profile=dataclasses.asdict(profile_obj),
+                   n_instrs=n_instrs, warmup=warmup,
+                   sanitize=bool(body["sanitize"]) if "sanitize" in body
+                   else None,
+                   retries=int(body.get("retries", 1)),
+                   accounting=bool(body.get("accounting", True)))
+
+
+class SimulationService:
+    """Job registry + bounded priority queue + dispatcher thread."""
+
+    def __init__(self, pool: SimulationPool, store: ResultStore,
+                 max_queue: int = 64) -> None:
+        self.pool = pool
+        self.store = store
+        self.max_queue = max_queue
+        self.queue: "queue.PriorityQueue[Tuple[int, int, str]]" = \
+            queue.PriorityQueue(maxsize=max_queue)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, dict] = {}
+        self._seq = 0
+        self._pool_ids: Dict[int, str] = {}
+        self._stop = threading.Event()
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="dispatcher", daemon=True)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pool.start()
+        self._dispatcher.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._dispatcher.join(timeout=5.0)
+        self.pool.close()
+
+    # -- submission (called from HTTP handler threads) -------------------------
+
+    def submit(self, spec: JobSpec,
+               priority: int = DEFAULT_PRIORITY) -> dict:
+        key = spec.key()
+        with self._lock:
+            self._seq += 1
+            job_id = f"job-{self._seq}"
+            entry = {"id": job_id, "status": "queued", "key": key,
+                     "core": spec.core.get("name"),
+                     "app": spec.profile.get("name"),
+                     "priority": priority, "spec": spec}
+            # The get() counts the cache-served submission as a store
+            # hit and refreshes the entry's LRU recency; on a miss the
+            # pool consults (and counts) the store itself.
+            if key in self.store and self.store.get(key) is not None:
+                entry["status"] = "done"
+                entry["cached"] = True
+                self._jobs[job_id] = entry
+                return self._public(entry)
+            self._jobs[job_id] = entry
+        try:
+            self.queue.put_nowait((priority, self._seq, job_id))
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job_id]
+            raise QueueFullError(
+                f"queue full ({self.max_queue} jobs); retry later")
+        return self._public(entry)
+
+    def job(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            entry = self._jobs.get(job_id)
+            return self._public(entry) if entry else None
+
+    @staticmethod
+    def _public(entry: dict) -> dict:
+        public = {k: v for k, v in entry.items() if k != "spec"}
+        if entry["status"] in ("done", "failed"):
+            public["result_url"] = f"/results/{entry['key']}"
+        return public
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for entry in self._jobs.values():
+                by_status[entry["status"]] = \
+                    by_status.get(entry["status"], 0) + 1
+        return {
+            "store": self.store.stats_snapshot(),
+            "pool": self.pool.stats_snapshot(),
+            "queue": {"depth": self.queue.qsize(), "max": self.max_queue},
+            "jobs": by_status,
+        }
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        max_in_flight = max(2 * self.pool.n_workers, 2)
+        while not self._stop.is_set():
+            moved = False
+            if len(self._pool_ids) < max_in_flight:
+                try:
+                    _, _, job_id = self.queue.get(timeout=0.05)
+                    moved = True
+                except queue.Empty:
+                    pass
+                if moved:
+                    with self._lock:
+                        entry = self._jobs.get(job_id)
+                        if entry is not None and entry["status"] == "queued":
+                            entry["status"] = "running"
+                            pool_id = self.pool.submit(entry["spec"])
+                            self._pool_ids[pool_id] = job_id
+            self.pool.tick(block_s=0.0 if moved else 0.05)
+            self._collect()
+
+    def _collect(self) -> None:
+        for pool_id in list(self._pool_ids):
+            if not self.pool.done(pool_id):
+                continue
+            job_id = self._pool_ids.pop(pool_id)
+            record = self.pool.record(pool_id)
+            with self._lock:
+                entry = self._jobs.get(job_id)
+                if entry is None:
+                    continue
+                if record.get("failed"):
+                    entry["status"] = "failed"
+                    entry["error"] = record.get("error")
+                else:
+                    entry["status"] = "done"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: SimulationService = None  # set by create_server
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _send(self, code: int, payload, headers: Optional[dict] = None) -> None:
+        body = payload if isinstance(payload, bytes) else \
+            (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # quiet by default
+        pass
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        service = self.service
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok",
+                             "workers": service.pool.alive_workers()})
+        elif self.path == "/stats":
+            self._send(200, service.stats())
+        elif self.path.startswith("/jobs/"):
+            job = service.job(self.path[len("/jobs/"):])
+            if job is None:
+                self._send(404, {"error": "no such job"})
+            else:
+                self._send(200, job)
+        else:
+            match = re.fullmatch(r"/results/([0-9a-f]+)", self.path)
+            if match:
+                raw = service.store.get_bytes(match.group(1))
+                if raw is None:
+                    self._send(404, {"error": "no such result"})
+                else:
+                    self._send(200, raw)
+            else:
+                self._send(404, {"error": "unknown endpoint"})
+
+    def do_POST(self) -> None:
+        if self.path != "/jobs":
+            self._send(404, {"error": "unknown endpoint"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send(400, {"error": "invalid JSON body"})
+            return
+        raw_jobs = body.get("jobs", [body]) if isinstance(body, dict) else None
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            self._send(400, {"error": "submit a job object or "
+                                      "{'jobs': [...]}"})
+            return
+        accepted = []
+        try:
+            specs = [(spec_from_request(job),
+                      int(job.get("priority", DEFAULT_PRIORITY))
+                      if isinstance(job, dict) else DEFAULT_PRIORITY)
+                     for job in raw_jobs]
+        except BadJobError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        try:
+            for spec, priority in specs:
+                accepted.append(self.service.submit(spec, priority))
+        except QueueFullError as exc:
+            self._send(429, {"error": str(exc), "accepted": accepted,
+                             "retry_after_s": RETRY_AFTER_S},
+                       headers={"Retry-After": str(RETRY_AFTER_S)})
+            return
+        self._send(202, {"jobs": accepted})
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0,
+                  workers: Optional[int] = None,
+                  store_dir: str = ".repro-store",
+                  max_queue: int = 64,
+                  timeout: Optional[float] = None,
+                  max_store_entries: Optional[int] = None):
+    """Build (but do not start serving) the HTTP service.
+
+    Returns ``(httpd, service)``; callers run ``httpd.serve_forever()``
+    and ``service.stop()``/``httpd.shutdown()`` to tear down.
+    """
+    store = ResultStore(store_dir, max_entries=max_store_entries)
+    pool = SimulationPool(n_workers=workers, store=store, timeout=timeout)
+    service = SimulationService(pool, store, max_queue=max_queue)
+    handler = type("Handler", (_Handler,), {"service": service})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    httpd.daemon_threads = True
+    service.start()
+    return httpd, service
+
+
+def serve(host: str, port: int, workers: Optional[int], store_dir: str,
+          max_queue: int, timeout: Optional[float],
+          echo=print) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    httpd, service = create_server(host=host, port=port, workers=workers,
+                                   store_dir=store_dir, max_queue=max_queue,
+                                   timeout=timeout)
+    bound = httpd.server_address
+    echo(f"simulation service on http://{bound[0]}:{bound[1]} "
+         f"({service.pool.n_workers} worker(s), store {store_dir}, "
+         f"queue {max_queue})")
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        echo("shutting down")
+    finally:
+        service.stop()
+        httpd.server_close()
+    return 0

@@ -1,0 +1,211 @@
+"""Content-addressed on-disk result store.
+
+Simulations are deterministic, so a result is fully identified by *what*
+was simulated: core config, memory config, workload profile (name +
+trace seed), trace length, code revision and interpreter build.  The
+store hashes exactly that identity (via the provenance manifest digest)
+into a key and keeps one canonical JSON record per key on disk:
+
+* **Atomic writes** — records land via unique temp file + ``os.replace``,
+  so concurrent writers of the same key are idempotent (records are
+  canonically serialised, hence byte-identical) and a reader never sees a
+  half-written file.
+* **Integrity** — every record envelope embeds a digest of its payload;
+  a corrupt entry is detected on read, moved into ``quarantine/`` and
+  reported as a miss so the caller recomputes it.
+* **Bounded** — an optional LRU entry cap (by access time) evicts the
+  coldest records; hits, misses, writes, evictions and quarantines are
+  counted for the service ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.common.params import MemoryConfig
+from repro.obs.provenance import (
+    config_hash,
+    git_rev,
+    interpreter_tag,
+    manifest_digest,
+)
+
+#: Version of the on-disk record envelope.  A reader finding any other
+#: value treats the entry as a miss (never served across schema changes).
+STORE_SCHEMA = 1
+
+
+def result_key(cfg, profile, n_instrs: int, warmup: int,
+               mem_cfg: Optional[MemoryConfig] = None) -> str:
+    """Content address of one simulation's result.
+
+    Covers everything that can change the simulated counters: both config
+    hashes, the app identity (name + trace seed), trace lengths, the code
+    revision and the interpreter build.  Deliberately *excludes* read-only
+    observers (sanitizer, accounting, samplers) — they never change
+    timing, so results computed with or without them share an address.
+    """
+    identity = {
+        "config_hash": config_hash(cfg),
+        "mem_hash": config_hash(mem_cfg if mem_cfg is not None
+                                else MemoryConfig()),
+        "core": cfg.name,
+        "app": profile.name,
+        "trace_seed": profile.seed,
+        "profile_hash": config_hash(profile),
+        "n_instrs": n_instrs,
+        "warmup": warmup,
+        "git_rev": git_rev(),
+        "platform": interpreter_tag(),
+    }
+    return manifest_digest(identity)
+
+
+def encode_record(key: str, record: dict) -> bytes:
+    """Canonical bytes for one store entry (deterministic: same record ->
+    same bytes, so racing writers replace files with identical content)."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    envelope = {"schema": STORE_SCHEMA, "key": key, "digest": digest,
+                "record": record}
+    return (json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+def _decode_record(key: str, raw: bytes) -> Optional[dict]:
+    """The validated record payload, or None when the entry is corrupt."""
+    try:
+        envelope = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    if envelope.get("schema") != STORE_SCHEMA or envelope.get("key") != key:
+        return None
+    record = envelope.get("record")
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if hashlib.sha256(payload.encode()).hexdigest() != envelope.get("digest"):
+        return None
+    return record
+
+
+class ResultStore:
+    """Content-addressed result store rooted at a directory.
+
+    Entries are sharded two hex characters deep (``ab/abcdef....json``) so
+    a big store never puts thousands of files in one directory.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 max_entries: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "writes": 0,
+            "evictions": 0, "quarantined": 0,
+        }
+
+    # -- paths -----------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never delete evidence)."""
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.stem}.{n}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass
+        self.stats["quarantined"] += 1
+
+    # -- read ------------------------------------------------------------------
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """Raw validated entry bytes (what ``GET /results/<key>`` serves)."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        if _decode_record(key, raw) is None:
+            self._quarantine(path)
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        self._touch(path)
+        return raw
+
+    def get(self, key: str) -> Optional[dict]:
+        """The validated record for ``key``, or None (miss / corrupt)."""
+        raw = self.get_bytes(key)
+        if raw is None:
+            return None
+        return _decode_record(key, raw)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # -- write -----------------------------------------------------------------
+
+    def put(self, key: str, record: dict) -> Path:
+        """Atomically write ``record`` under ``key`` and return its path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        data = encode_record(key, record)
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        self.stats["writes"] += 1
+        self._evict()
+        return path
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _touch(self, path: Path) -> None:
+        """Refresh access time so LRU eviction tracks real usage."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _entries(self) -> Iterator[Path]:
+        for shard in self.root.iterdir():
+            if shard.name == "quarantine" or not shard.is_dir():
+                continue
+            yield from shard.glob("*.json")
+
+    def keys(self) -> list:
+        return sorted(p.stem for p in self._entries())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _evict(self) -> None:
+        if not self.max_entries:
+            return
+        entries = sorted(self._entries(),
+                         key=lambda p: (p.stat().st_mtime, p.name))
+        excess = len(entries) - self.max_entries
+        for path in entries[:max(excess, 0)]:
+            try:
+                path.unlink()
+                self.stats["evictions"] += 1
+            except OSError:
+                pass
+
+    def stats_snapshot(self) -> dict:
+        return dict(self.stats, entries=len(self))

@@ -45,6 +45,50 @@ class TestCli:
             main(["frobnicate"])
 
 
+class TestStructuredErrors:
+    """S2: failed simulations exit non-zero with SimulationError.details
+    rendered to stderr — never a raw traceback."""
+
+    def test_run_deadlock_exits_3_with_details(self, capsys, tmp_path):
+        cfg = tmp_path / "tight.json"
+        cfg.write_text(json.dumps({"base": "casino", "deadlock_cycles": 2}))
+        assert main(["run", "--config", str(cfg), "--app", "mcf",
+                     "-n", "2000", "--warmup", "500"]) == 3
+        err = capsys.readouterr().err
+        assert "simulation failed" in err
+        assert "check: deadlock_watchdog" in err
+        assert "cycle:" in err
+        assert "Traceback" not in err
+
+    def test_compare_simulation_error_exits_3(self, capsys, monkeypatch):
+        from repro.engine.core_base import SimulationError
+        from repro.harness.runner import Runner
+
+        def boom(self, cfg, profile):
+            raise SimulationError("injected failure", core=cfg.name,
+                                  check="cycle_budget", cycle=123)
+
+        monkeypatch.setattr(Runner, "run", boom)
+        assert main(["compare", "--app", "hmmer",
+                     "-n", "2000", "--warmup", "500"]) == 3
+        err = capsys.readouterr().err
+        assert "injected failure" in err
+        assert "check: cycle_budget" in err
+
+
+class TestSubmitCommand:
+    def test_bad_batch_entry_exits_2(self, capsys):
+        assert main(["submit", "--batch", "ino:hmmer,garbage"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --batch entry" in err and "garbage" in err
+
+    def test_unreachable_service_exits_4(self, capsys):
+        # Port 9 (discard) is never a simulation service.
+        assert main(["submit", "--url", "http://127.0.0.1:9",
+                     "--core", "ino", "--app", "hmmer"]) == 4
+        assert "error:" in capsys.readouterr().err
+
+
 class TestJsonExport:
     def test_run_json(self, capsys, tmp_path):
         out_path = tmp_path / "run.json"

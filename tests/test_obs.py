@@ -386,3 +386,45 @@ class TestProvenance:
                  manifest={"git_rev": "abc", "wall_time_s": 1.0})
         reloaded = SweepCheckpoint(path)
         assert reloaded.get("Figure 6")["manifest"]["git_rev"] == "abc"
+
+    def test_manifest_carries_interpreter_identity(self):
+        """S1: manifests pin the Python version and platform tag, under
+        schema 2."""
+        import platform as platform_mod
+
+        from repro.obs.provenance import MANIFEST_SCHEMA, interpreter_tag
+        manifest = run_manifest(make_casino_config())
+        assert manifest["schema"] == MANIFEST_SCHEMA == 2
+        assert manifest["python"] == platform_mod.python_version()
+        assert manifest["platform"] == interpreter_tag()
+
+    def test_interpreter_tag_shape(self):
+        import sys
+
+        from repro.obs.provenance import interpreter_tag
+        tag = interpreter_tag()
+        assert tag == tag.lower()
+        assert platform_version_in_tag(tag)
+        assert sys.platform in tag
+
+    def test_manifest_digest_identity(self):
+        """The digest is stable, ignores wall time, and is sensitive to
+        every identity field (interpreter included)."""
+        from repro.obs.provenance import manifest_digest
+        manifest = run_manifest(make_casino_config(), SUITE["mcf"])
+        assert manifest_digest(manifest) == manifest_digest(dict(manifest))
+        timed = dict(manifest, wall_time_s=12.5)
+        assert manifest_digest(timed) == manifest_digest(manifest)
+        for field, value in (("platform", "other-interp"),
+                             ("git_rev", "deadbeef"),
+                             ("trace_seed", 424242),
+                             ("python", "2.7.18")):
+            changed = dict(manifest)
+            changed[field] = value
+            assert manifest_digest(changed) != manifest_digest(manifest), \
+                field
+
+
+def platform_version_in_tag(tag: str) -> bool:
+    import platform as platform_mod
+    return platform_mod.python_version() in tag

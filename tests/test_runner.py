@@ -51,6 +51,32 @@ class TestRunner:
         assert set(out) == {"hmmer", "gcc"}
 
 
+class TestTraceCacheLRU:
+    """S3: the per-runner trace cache is bounded with LRU eviction."""
+
+    def test_cache_bounded_and_evictions_counted(self):
+        runner = Runner(n_instrs=500, warmup=100, trace_cache_entries=2)
+        for app in ("hmmer", "gcc", "milc"):
+            runner.trace(get_profile(app))
+        assert len(runner._traces) == 2
+        assert runner.trace_evictions == 1
+
+    def test_eviction_is_least_recently_used(self):
+        runner = Runner(n_instrs=500, warmup=100, trace_cache_entries=2)
+        t_hmmer = runner.trace(get_profile("hmmer"))
+        runner.trace(get_profile("gcc"))
+        # Touch hmmer so gcc is the LRU entry, then overflow.
+        assert runner.trace(get_profile("hmmer")) is t_hmmer
+        runner.trace(get_profile("milc"))
+        assert runner.trace(get_profile("hmmer")) is t_hmmer  # still cached
+        assert runner.trace_evictions == 1
+
+    def test_default_bound(self):
+        runner = Runner(n_instrs=500, warmup=100)
+        assert runner.trace_cache_entries == Runner.DEFAULT_TRACE_CACHE_ENTRIES
+        assert runner.trace_evictions == 0
+
+
 class TestTables:
     def test_format_table_aligns(self):
         text = format_table(["name", "value"],

@@ -1,0 +1,154 @@
+"""HTTP service: submit/poll/result lifecycle, validation, backpressure."""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceBusyError, ServiceClient, ServiceError
+from repro.service.server import create_server
+
+N, WARMUP = 1200, 200
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("service-store")
+    httpd, svc = create_server(host="127.0.0.1", port=0, workers=1,
+                               store_dir=str(store_dir), max_queue=16)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = httpd.server_address
+    client = ServiceClient(f"http://{host}:{port}", timeout=30)
+    yield client
+    svc.stop()
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+
+
+def _job(core="ino", app="hmmer", **kw):
+    body = {"core": core, "app": app, "n": N, "warmup": WARMUP}
+    body.update(kw)
+    return body
+
+
+class TestLifecycle:
+    def test_healthz(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["workers"] >= 0
+
+    def test_submit_wait_result(self, service):
+        (entry, ) = service.submit(_job())
+        assert entry["status"] in ("queued", "running", "done")
+        assert entry["id"].startswith("job-")
+        done = service.wait([entry["id"]], poll_s=0.1, timeout_s=120)
+        final = done[entry["id"]]
+        assert final["status"] == "done"
+        assert final["result_url"] == f"/results/{final['key']}"
+        envelope = service.result(final["key"])
+        assert envelope["key"] == final["key"]
+        record = envelope["record"]
+        assert record["core"] == "ino" and record["app"] == "hmmer"
+        assert record["ipc"] > 0
+        assert "counter_digest" in record["manifest"]
+
+    def test_resubmit_served_from_cache(self, service):
+        """Same spec again: completes at submission time, marked cached,
+        and the store hit counter moves."""
+        before = service.stats()["store"]["hits"]
+        (entry, ) = service.submit(_job())
+        assert entry["status"] == "done"
+        assert entry.get("cached") is True
+        assert service.stats()["store"]["hits"] > before
+
+    def test_batch_submission(self, service):
+        entries = service.submit([_job(app="mcf"), _job(core="casino",
+                                                        app="mcf")])
+        assert len(entries) == 2
+        done = service.wait([e["id"] for e in entries], poll_s=0.1,
+                            timeout_s=180)
+        assert all(e["status"] == "done" for e in done.values())
+
+    def test_stats_shape(self, service):
+        stats = service.stats()
+        for section in ("store", "pool", "queue", "jobs"):
+            assert section in stats
+        assert stats["queue"]["max"] == 16
+        for counter in ("hits", "misses", "writes", "evictions",
+                        "quarantined", "entries"):
+            assert counter in stats["store"]
+        assert "trace_evictions" in stats["pool"]
+
+
+class TestValidation:
+    def test_unknown_core(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.submit(_job(core="pentium4"))
+        assert exc.value.status == 400
+        assert "unknown core" in str(exc.value)
+
+    def test_unknown_app(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.submit(_job(app="doom"))
+        assert exc.value.status == 400
+
+    def test_missing_app(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.submit({"core": "ino"})
+        assert exc.value.status == 400
+
+    def test_invalid_json(self, service):
+        req = urllib.request.Request(
+            service.base_url + "/jobs", data=b"{ nope",
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+    def test_unknown_job_and_result_404(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.job("job-999999")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            service.result("ff" * 16)
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            service._request("/no/such/endpoint")
+        assert exc.value.status == 404
+
+
+class TestBackpressure:
+    def test_queue_full_yields_429_with_retry_hint(self, tmp_path):
+        """A queue of 1 behind slow jobs must answer 429, not buffer."""
+        httpd, svc = create_server(host="127.0.0.1", port=0, workers=1,
+                                   store_dir=str(tmp_path / "store"),
+                                   max_queue=1)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        host, port = httpd.server_address
+        client = ServiceClient(f"http://{host}:{port}", timeout=30)
+        apps = ["hmmer", "mcf", "milc", "gcc", "bwaves", "gobmk",
+                "sjeng", "astar"]
+        try:
+            busy = None
+            for app in apps:  # distinct apps: none is cache-served
+                try:
+                    client.submit(_job(app=app, n=60_000, warmup=2000))
+                except ServiceBusyError as exc:
+                    busy = exc
+                    break
+            assert busy is not None, "queue never filled"
+            assert busy.status == 429
+            assert busy.retry_after_s > 0
+            assert "queue full" in str(busy)
+        finally:
+            svc.stop()
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,149 @@
+"""Worker pool: parity with serial, caching, faults, timeouts, cancel."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config, make_ooo_config
+from repro.service.jobs import JobSpec, execute_job
+from repro.service.pool import SimulationPool
+from repro.service.store import ResultStore
+from repro.workloads.suite import SUITE
+
+N, WARMUP = 1200, 200
+
+
+def _specs(pairs, **kw):
+    factories = {"ino": make_ino_config, "casino": make_casino_config,
+                 "ooo": make_ooo_config}
+    return [JobSpec.make(factories[core](), SUITE[app],
+                         n_instrs=N, warmup=WARMUP, **kw)
+            for core, app in pairs]
+
+
+PAIRS = [("ino", "hmmer"), ("casino", "hmmer"),
+         ("ino", "mcf"), ("casino", "mcf")]
+
+
+class TestParity:
+    def test_pool_records_identical_to_serial(self):
+        """Acceptance: pooled execution is counter-digest-identical to
+        serial execution on every core x app pair."""
+        specs = _specs(PAIRS)
+        serial = [execute_job(spec) for spec in specs]
+        with SimulationPool(n_workers=2) as pool:
+            pooled = pool.run_batch(specs)
+        for ser, par, (core, app) in zip(serial, pooled, PAIRS):
+            assert not par["failed"], (core, app, par.get("error"))
+            assert ser == par, f"pool diverged from serial on {core}/{app}"
+            assert ser["manifest"]["counter_digest"] == \
+                par["manifest"]["counter_digest"]
+
+    def test_batch_preserves_order(self):
+        specs = _specs(PAIRS)
+        with SimulationPool(n_workers=2) as pool:
+            records = pool.run_batch(specs)
+        assert [(r["core"], r["app"]) for r in records] == PAIRS
+
+
+class TestStoreIntegration:
+    def test_warm_rerun_performs_zero_simulations(self, tmp_path):
+        """Acceptance: an immediate rerun against a warm store serves
+        everything from cache — zero jobs reach a worker."""
+        specs = _specs(PAIRS)
+        store = ResultStore(tmp_path / "store")
+        with SimulationPool(n_workers=2, store=store) as pool:
+            cold = pool.run_batch(specs)
+            assert pool.stats["dispatched"] == len(specs)
+        assert len(store) == len(specs)
+
+        rerun_store = ResultStore(tmp_path / "store")
+        with SimulationPool(n_workers=2, store=rerun_store) as pool:
+            warm = pool.run_batch(specs)
+            assert pool.stats["dispatched"] == 0
+            assert pool.stats["cached"] == len(specs)
+        assert rerun_store.stats["hits"] == len(specs)
+        assert rerun_store.stats["misses"] == 0
+        assert warm == cold
+
+    def test_failure_records_not_stored(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        bad = dataclasses.replace(
+            _specs([("ino", "hmmer")])[0], n_instrs=0, warmup=0)
+        with SimulationPool(n_workers=1, store=store) as pool:
+            (record, ) = pool.run_batch([bad])
+        if record["failed"]:  # only failed runs must stay out of the store
+            assert len(store) == 0
+
+
+class TestFaults:
+    def test_worker_death_contained_and_job_recovered(self):
+        """A job that kills its worker is re-executed serially in the
+        parent and still completes; the pool respawns and finishes the
+        rest of the batch."""
+        specs = _specs([("ino", "hmmer"), ("ino", "mcf")])
+        specs[0] = dataclasses.replace(specs[0], test_kill=True)
+        with SimulationPool(n_workers=1, max_worker_deaths=3) as pool:
+            records = pool.run_batch(specs)
+            stats = pool.stats_snapshot()
+        assert stats["worker_deaths"] >= 1
+        assert stats["serial_fallbacks"] >= 1
+        for record in records:
+            assert not record["failed"]
+
+    def test_degrades_to_serial_after_max_deaths(self):
+        specs = _specs([("ino", "hmmer"), ("ino", "mcf"), ("ino", "milc")])
+        specs[0] = dataclasses.replace(specs[0], test_kill=True)
+        with SimulationPool(n_workers=1, max_worker_deaths=1) as pool:
+            records = pool.run_batch(specs)
+            assert pool.degraded
+            stats = pool.stats_snapshot()
+        assert stats["worker_deaths"] == 1
+        assert stats["serial_fallbacks"] >= len(specs) - 1
+        for record in records:
+            assert not record["failed"]
+
+    def test_job_timeout_enforced(self):
+        slow = _specs([("casino", "mcf")])
+        slow[0] = dataclasses.replace(slow[0], n_instrs=400_000,
+                                      warmup=1000)
+        with SimulationPool(n_workers=1, timeout=0.4) as pool:
+            (record, ) = pool.run_batch(slow)
+            stats = pool.stats_snapshot()
+        assert record["failed"]
+        assert record["status"] == "timeout"
+        assert stats["timeouts"] == 1
+
+    def test_cancel_pending_flushes_queued_jobs(self):
+        """Jobs queued behind a running one are flushed by cancel; the
+        in-flight job still completes."""
+        specs = _specs([("casino", "mcf"), ("ino", "hmmer"),
+                        ("ino", "mcf"), ("ino", "milc")])
+        specs[0] = dataclasses.replace(specs[0], n_instrs=60_000,
+                                       warmup=2000)
+        with SimulationPool(n_workers=1) as pool:
+            ids = [pool.submit(spec) for spec in specs]
+            deadline = 60
+            import time
+            start = time.monotonic()
+            while pool.status(ids[0]) != "running":
+                assert time.monotonic() - start < deadline
+                pool.tick(block_s=0.02)
+                if pool.done(ids[0]):
+                    break
+            pool.cancel_pending()
+            pool.wait(ids)
+            first = pool.record(ids[0])
+            rest = [pool.record(job_id) for job_id in ids[1:]]
+            stats = pool.stats_snapshot()
+        assert not first["failed"]
+        for record in rest:
+            assert record["status"] == "cancelled"
+        assert stats["cancelled"] == len(rest)
+
+    def test_trace_evictions_reported(self):
+        with SimulationPool(n_workers=1) as pool:
+            pool.run_batch(_specs([("ino", "hmmer")]))
+            snapshot = pool.stats_snapshot()
+        assert "trace_evictions" in snapshot
+        assert snapshot["trace_evictions"] >= 0

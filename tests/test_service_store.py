@@ -1,0 +1,160 @@
+"""Content-addressed result store: keys, integrity, eviction, races."""
+
+import dataclasses
+import json
+import multiprocessing
+
+import pytest
+
+from repro.common.params import make_casino_config, make_ino_config
+from repro.service.jobs import JobSpec, execute_job
+from repro.service.store import ResultStore, encode_record, result_key
+from repro.workloads.suite import SUITE
+
+
+def _spec(core="ino", app="hmmer", n=1200, warmup=200, **kw):
+    factory = {"ino": make_ino_config, "casino": make_casino_config}[core]
+    return JobSpec.make(factory(), SUITE[app], n_instrs=n, warmup=warmup,
+                        **kw)
+
+
+class TestResultKey:
+    def test_stable(self):
+        cfg, profile = make_ino_config(), SUITE["hmmer"]
+        assert result_key(cfg, profile, 1000, 200) == \
+            result_key(cfg, profile, 1000, 200)
+
+    def test_sensitive_to_identity(self):
+        cfg, profile = make_ino_config(), SUITE["hmmer"]
+        base = result_key(cfg, profile, 1000, 200)
+        assert result_key(make_casino_config(), profile, 1000, 200) != base
+        assert result_key(cfg, SUITE["mcf"], 1000, 200) != base
+        assert result_key(cfg, profile, 2000, 200) != base
+        assert result_key(cfg, profile, 1000, 100) != base
+        reseeded = dataclasses.replace(profile, seed=profile.seed + 1)
+        assert result_key(cfg, reseeded, 1000, 200) != base
+
+    def test_sensitive_to_interpreter(self, monkeypatch):
+        """S1: a store must never serve results computed under a
+        different interpreter build — the tag is part of the key."""
+        cfg, profile = make_ino_config(), SUITE["hmmer"]
+        base = result_key(cfg, profile, 1000, 200)
+        monkeypatch.setattr("repro.service.store.interpreter_tag",
+                            lambda: "pypy-9.9-win32-arm64")
+        assert result_key(cfg, profile, 1000, 200) != base
+
+
+class TestStoreBasics:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        record = {"app": "hmmer", "ipc": 0.5, "counters": {"cycles": 10.0}}
+        assert store.get("ab" * 16) is None
+        assert store.stats["misses"] == 1
+        store.put("ab" * 16, record)
+        assert store.get("ab" * 16) == record
+        assert store.stats["hits"] == 1 and store.stats["writes"] == 1
+        assert len(store) == 1 and ("ab" * 16) in store
+
+    def test_bytes_deterministic(self, tmp_path):
+        record = {"b": 2, "a": 1, "nested": {"y": 0.25, "x": [1, 2]}}
+        assert encode_record("k1", record) == encode_record("k1", record)
+        # Key order of the input dict must not matter.
+        reordered = json.loads(json.dumps(record, sort_keys=True))
+        assert encode_record("k1", reordered) == encode_record("k1", record)
+
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "cd" * 16
+        store.put(key, {"ipc": 1.0})
+        path = store._path(key)
+        path.write_bytes(b"{ not json at all")
+        assert store.get(key) is None
+        assert store.stats["quarantined"] == 1
+        assert not path.exists()
+        assert list((store.root / "quarantine").iterdir())
+        # The caller recomputes and the store heals.
+        store.put(key, {"ipc": 1.0})
+        assert store.get(key) == {"ipc": 1.0}
+
+    def test_tampered_payload_detected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = "ef" * 16
+        store.put(key, {"ipc": 1.0})
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        envelope["record"]["ipc"] = 9.9  # digest no longer matches
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+        assert store.stats["quarantined"] == 1
+
+    def test_wrong_key_detected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("11" * 16, {"ipc": 1.0})
+        raw = store._path("11" * 16).read_bytes()
+        other = "22" * 16
+        store._path(other).parent.mkdir(parents=True, exist_ok=True)
+        store._path(other).write_bytes(raw)
+        assert store.get(other) is None
+
+    def test_lru_eviction(self, tmp_path):
+        import os
+        import time
+        store = ResultStore(tmp_path / "store", max_entries=2)
+        keys = [f"{i:02d}" * 16 for i in range(3)]
+        for i, key in enumerate(keys[:2]):
+            store.put(key, {"i": i})
+            os.utime(store._path(key), (time.time() - 100 + i, ) * 2)
+        # Touch the oldest so the *other* one is LRU.
+        assert store.get(keys[0]) is not None
+        os.utime(store._path(keys[0]), None)
+        store.put(keys[2], {"i": 2})
+        assert store.stats["evictions"] == 1
+        assert keys[1] not in store
+        assert keys[0] in store and keys[2] in store
+        assert len(store) == 2
+
+
+def _race_worker(store_dir, spec, out_q):
+    store = ResultStore(store_dir)
+    record = execute_job(spec)
+    key = spec.key()
+    store.put(key, record)
+    out_q.put(store.get_bytes(key))
+
+
+class TestConcurrentAccess:
+    def test_two_writers_same_key_read_identical_bytes(self, tmp_path):
+        """Two processes computing the same key race cleanly: atomic
+        replace + canonical serialisation make the write idempotent."""
+        spec = _spec(n=800, warmup=100)
+        ctx = multiprocessing.get_context()
+        out_q = ctx.Queue()
+        procs = [ctx.Process(target=_race_worker,
+                             args=(str(tmp_path / "store"), spec, out_q))
+                 for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        raws = [out_q.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30)
+        assert raws[0] is not None
+        assert raws[0] == raws[1]
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == 1
+        assert store.get_bytes(spec.key()) == raws[0]
+
+    def test_pool_workers_racing_same_spec(self, tmp_path):
+        """Submitting the same spec twice before either completes makes
+        two workers compute the same key; both resolve identically and
+        exactly one store entry results."""
+        from repro.service.pool import SimulationPool
+        store = ResultStore(tmp_path / "store")
+        spec = _spec(n=800, warmup=100)
+        with SimulationPool(n_workers=2, store=store) as pool:
+            first = pool.submit(spec)
+            second = pool.submit(spec)  # store still cold: both dispatch
+            pool.wait([first, second])
+            rec_a, rec_b = pool.record(first), pool.record(second)
+        assert rec_a == rec_b
+        assert not rec_a["failed"]
+        assert len(store) == 1
