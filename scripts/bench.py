@@ -51,6 +51,12 @@ PAIRS = (("ino", "hmmer"), ("ino", "mcf"),
          ("casino", "hmmer"), ("casino", "mcf"),
          ("ooo", "hmmer"), ("ooo", "mcf"))
 
+#: Pairs also timed with quiescence fast-forward disabled
+#: (``<core>/<app>:noskip`` keys).  mcf is DRAM-bound, so these measure
+#: what the event-driven skip layer buys; ``--check`` additionally
+#: requires skip-on to beat skip-off here by ``--min-ff-speedup``.
+NOSKIP_PAIRS = (("ino", "mcf"), ("casino", "mcf"))
+
 
 def calibrate(iters: int = 300_000, repeats: int = 3) -> float:
     """Seconds for a fixed pure-Python workload (min over ``repeats``).
@@ -71,16 +77,17 @@ def calibrate(iters: int = 300_000, repeats: int = 3) -> float:
 
 
 def bench_pair(core_name: str, app: str, n_instrs: int, warmup: int,
-               repeats: int) -> dict:
+               repeats: int, fast_forward=None) -> dict:
     cfg = _CORES[core_name]()
     trace = SyntheticWorkload(get_profile(app)).generate(n_instrs)
-    build_core(cfg).run(trace, warmup=warmup)       # untimed warm-up pass
+    build_core(cfg).run(trace, warmup=warmup,       # untimed warm-up pass
+                        fast_forward=fast_forward)
     times = []
     cycles = 0
     for _ in range(repeats):
         core = build_core(cfg)
         start = time.perf_counter()
-        stats = core.run(trace, warmup=warmup)
+        stats = core.run(trace, warmup=warmup, fast_forward=fast_forward)
         times.append(time.perf_counter() - start)
         cycles = int(stats.cycles)
     median = statistics.median(times)
@@ -141,6 +148,17 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
               f"(IQR {entry['iqr_s']:.3f}s, "
               f"{entry['kcycles_per_s']:.0f} kcycles/s, "
               f"normalized {entry['normalized']:.2f})")
+    for core_name, app in NOSKIP_PAIRS:
+        entry = bench_pair(core_name, app, n_instrs, warmup, repeats,
+                           fast_forward=False)
+        entry["normalized"] = entry["median_s"] / calibration
+        results[f"{core_name}/{app}:noskip"] = entry
+        skip_on = results[f"{core_name}/{app}"]
+        skip_on["speedup_vs_noskip"] = (entry["median_s"]
+                                        / skip_on["median_s"])
+        print(f"  {core_name}/{app}:noskip: median {entry['median_s']:.3f}s"
+              f" (fast-forward buys "
+              f"{skip_on['speedup_vs_noskip']:.2f}x)")
     pool_entry = bench_pool_sweep(n_instrs, warmup, repeats)
     pool_entry["normalized"] = pool_entry["median_s"] / calibration
     results["pool/sweep"] = pool_entry
@@ -192,6 +210,30 @@ def check_regressions(report: dict, baseline_path: Path,
     return 0
 
 
+def check_fastforward(report: dict, min_speedup: float) -> int:
+    """Exit status: 1 when quiescence skipping stopped paying for itself
+    on the DRAM-bound pairs (skip-on must beat skip-off measurably)."""
+    failures = []
+    for core_name, app in NOSKIP_PAIRS:
+        entry = report["results"].get(f"{core_name}/{app}", {})
+        speedup = entry.get("speedup_vs_noskip")
+        if speedup is None:
+            continue
+        verdict = "ok" if speedup >= min_speedup else "TOO SLOW"
+        print(f"  {core_name}/{app}: fast-forward speedup "
+              f"{speedup:.2f}x (need >= {min_speedup:.2f}x, {verdict})")
+        if speedup < min_speedup:
+            failures.append((f"{core_name}/{app}", speedup))
+    if failures:
+        print(f"\nFAIL: fast-forward no longer measurably faster than "
+              f"skip-off on {len(failures)} pair(s):", file=sys.stderr)
+        for key, speedup in failures:
+            print(f"  {key}: {speedup:.2f}x < {min_speedup:.2f}x",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="host-side simulator benchmark with regression gate")
@@ -210,6 +252,11 @@ def main(argv=None) -> int:
                         default="BENCH_core.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed normalised-median regression fraction")
+    parser.add_argument("--min-ff-speedup", type=float, default=1.1,
+                        help="--check also fails when quiescence skipping "
+                             "is not at least this much faster than "
+                             "skip-off on the DRAM-bound pairs (a "
+                             "disengaged fast path measures ~1.0x)")
     args = parser.parse_args(argv)
 
     n_instrs = args.n if args.n is not None else (3_000 if args.quick
@@ -228,8 +275,9 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {args.out}")
     if args.check:
-        return check_regressions(report, Path(args.baseline),
-                                 args.tolerance)
+        status = check_regressions(report, Path(args.baseline),
+                                   args.tolerance)
+        return check_fastforward(report, args.min_ff_speedup) or status
     return 0
 
 

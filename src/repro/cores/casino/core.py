@@ -114,21 +114,40 @@ class CasinoCore(CoreModel):
     # -- cycle ----------------------------------------------------------------
 
     def _step(self, cycle: int) -> None:
-        self.lsu.retire_head(cycle, self.fu)
-        self._commit(cycle)
+        # Guards mirror each stage's own early-out so stalled cycles skip
+        # the call entirely; the stages stay correct when called directly.
+        lsu = self.lsu
+        if lsu.sq:
+            lsu.retire_head(cycle, self.fu)
+        rob = self.rob
+        if rob:
+            done = rob[0].done_at
+            if done is not None and done <= cycle:
+                self._commit(cycle)
         budget = self.cfg.width
-        budget -= self._issue_iq(cycle, budget)
+        if self.queues[-1]:
+            budget -= self._issue_iq(cycle, budget)
         self._scan_siqs(cycle, budget)
-        self._dispatch(cycle)
+        fq = self.fetch.queue
+        if fq and fq[0].ready_at <= cycle:
+            self._dispatch(cycle)
 
     # -- commit -----------------------------------------------------------------
 
     def _commit(self, cycle: int) -> None:
+        rob = self.rob
+        if not rob:
+            return
+        head_done = rob[0].done_at
+        if head_done is None or head_done > cycle:
+            return
         committed = 0
-        while (self.rob and committed < self.cfg.width
-               and self.rob[0].done_at is not None
-               and self.rob[0].done_at <= cycle):
-            entry = self.rob[0]
+        counters = self.stats.counters
+        width = self.cfg.width
+        while (rob and committed < width
+               and rob[0].done_at is not None
+               and rob[0].done_at <= cycle):
+            entry = rob[0]
             inst = entry.inst
             if inst.is_load and self.lsu.commit_load(entry, cycle):
                 # On-commit value-check failed: flush this load and all
@@ -138,17 +157,17 @@ class CasinoCore(CoreModel):
                                      mechanism="value_check")
                 self._squash(entry.seq, cycle)
                 return
-            self.rob.popleft()
+            rob.popleft()
             if inst.is_store:
                 self.lsu.commit_store(entry, cycle)
             self.renamer.commit(entry)
             if entry.queue_tag == "dbuf":
                 self.dbuf_used -= 1
-                self.stats.add("dbuf_access")
-            self.stats.add("rob_reads")
+                counters["dbuf_access"] += 1.0
+            counters["rob_reads"] += 1.0
             self.note_commit(entry, cycle)
-            self.stats.add("committed_s_issue" if entry.from_siq
-                           else "committed_iq_issue")
+            counters["committed_s_issue" if entry.from_siq
+                     else "committed_iq_issue"] += 1.0
             committed += 1
 
     # -- issue from the final in-order IQ ------------------------------------------
@@ -156,24 +175,27 @@ class CasinoCore(CoreModel):
     def _issue_iq(self, cycle: int, budget: int) -> int:
         """Strict in-order issue at the IQ head; returns slots used."""
         iq = self.queues[-1]
+        if not iq:
+            return 0
         issued = 0
+        counters = self.stats.counters
         while iq and issued < budget:
             entry = iq[0]
             if not entry.ready(cycle):
-                self.stats.add("iq_stall_src")
+                counters["iq_stall_src"] += 1.0
                 break
             needs_dbuf = (self._use_dbuf and entry.inst.dst is not None)
             if needs_dbuf and self.dbuf_used >= self.cfg.data_buffer_size:
-                self.stats.add("iq_stall_dbuf")
+                counters["iq_stall_dbuf"] += 1.0
                 break
             if not self.fu.take(entry.inst.op):
-                self.stats.add("iq_stall_fu")
+                counters["iq_stall_fu"] += 1.0
                 break
             iq.popleft()
             if needs_dbuf:
                 self.dbuf_used += 1
                 entry.queue_tag = "dbuf"
-                self.stats.add("dbuf_access")
+                counters["dbuf_access"] += 1.0
             self.renamer.on_iq_issue(entry)
             self._execute(entry, cycle, from_iq=True)
             issued += 1
@@ -184,22 +206,27 @@ class CasinoCore(CoreModel):
     def _scan_siqs(self, cycle: int, budget: int) -> None:
         """Process each S-IQ head with the [WS, SO] window, oldest queue
         (closest to the IQ) first."""
-        for qi in range(len(self.queues) - 2, -1, -1):
-            budget -= self._scan_one_siq(qi, cycle, budget)
+        queues = self.queues
+        for qi in range(len(queues) - 2, -1, -1):
+            if queues[qi]:
+                budget -= self._scan_one_siq(qi, cycle, budget)
 
     def _scan_one_siq(self, qi: int, cycle: int, budget: int) -> int:
-        cfg = self.cfg
         queue = self.queues[qi]
+        if not queue:
+            return 0
+        cfg = self.cfg
         next_queue = self.queues[qi + 1]
         next_cap = self.queue_sizes[qi + 1]
         first = qi == 0
         issued = 0
         processed = 0
         passes = 0
+        counters = self.stats.counters
         while queue and processed < cfg.specino_ws:
             entry = queue[0]
             if first:
-                self.stats.add("siq_examined")
+                counters["siq_examined"] += 1.0
             if entry.ready(cycle):
                 if issued >= budget:
                     break  # ready but out of issue slots: wait, don't pass
@@ -226,7 +253,7 @@ class CasinoCore(CoreModel):
                 if self.tracer is not None:
                     self.tracer.emit("siq_promote", cycle, entry.seq,
                                      from_queue=qi, to_queue=qi + 1)
-                self.stats.add("siq_passes")
+                counters["siq_passes"] += 1.0
                 passes += 1
                 processed += 1
                 continue
@@ -280,7 +307,7 @@ class CasinoCore(CoreModel):
             self.renamer.rename_speculative(entry)
             entry.from_siq = True
         self.rob.append(entry)
-        self.stats.add("rob_writes")
+        self.stats.counters["rob_writes"] += 1.0
         if entry.inst.is_store:
             self.lsu.dispatch_store(entry)
 
@@ -289,24 +316,26 @@ class CasinoCore(CoreModel):
     def _execute(self, entry: InflightInst, cycle: int, from_iq: bool) -> None:
         inst = entry.inst
         entry.issue_at = cycle
+        counters = self.stats.counters
         if from_iq:
-            self.stats.add("issued_iq")
-            self.stats.add("issued_iq_mem" if inst.is_mem else "issued_iq_nonmem")
+            counters["issued_iq"] += 1.0
+            counters["issued_iq_mem" if inst.is_mem
+                     else "issued_iq_nonmem"] += 1.0
         else:
             entry.from_siq = True
-            self.stats.add("issued_spec")
-            self.stats.add("issued_spec_mem" if inst.is_mem
-                           else "issued_spec_nonmem")
-        self.stats.add("issued")
-        self.stats.add("prf_reads", len(inst.srcs))
+            counters["issued_spec"] += 1.0
+            counters["issued_spec_mem" if inst.is_mem
+                     else "issued_spec_nonmem"] += 1.0
+        counters["issued"] += 1.0
+        counters["prf_reads"] += float(len(inst.srcs))
         if inst.dst is not None:
-            self.stats.add("prf_writes")
+            counters["prf_writes"] += 1.0
         if inst.is_load:
             forward = self.lsu.load_issued(entry, cycle, from_iq)
             entry.forward_store = forward
             if forward is not None:
                 entry.done_at = cycle + 2
-                self.stats.add("stl_forwards")
+                counters["stl_forwards"] += 1.0
             else:
                 entry.done_at = cycle + self.load_latency(entry, cycle)
         elif inst.is_store:
@@ -324,15 +353,113 @@ class CasinoCore(CoreModel):
         if self.tracer is not None:
             self.trace_issue(entry, cycle, from_iq=from_iq)
         self.resolve_branch_if_gating(entry)
+        self._schedule_wakeup(entry)
+
+    # -- event-driven fast forward --------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        # Cheapest and most frequent dense-cycle trigger first, before any
+        # allocation: the ROB head committing (all checks are read-only, so
+        # evaluation order does not matter for correctness).
+        if self.rob:
+            head = self.rob[0]
+            if head.done_at is not None and head.done_at <= cycle:
+                return None  # commits (or value-check squashes) this cycle
+        rates = {}
+        cand = []
+        cfg = self.cfg
+        if not self.lsu.retire_quiescent(cycle, rates, cand):
+            return None  # SB head retires
+        iq = self.queues[-1]
+        if iq:
+            head = iq[0]
+            if not head.ready(cycle):
+                rates["iq_stall_src"] = 1
+            elif (self._use_dbuf and head.inst.dst is not None
+                    and self.dbuf_used >= cfg.data_buffer_size):
+                rates["iq_stall_dbuf"] = 1
+            elif not self.fu.zero_capacity(head.inst.op):
+                return None  # IQ head would issue
+            else:
+                rates["iq_stall_fu"] = 1
+        for qi in range(len(self.queues) - 2, -1, -1):
+            if not self._siq_quiescent(qi, cycle, rates):
+                return None
+        if not self._dispatch_quiescent(
+                cycle, cand, self.queue_sizes[0] - len(self.queues[0])):
+            return None
+        if not self._fetch_quiescent(cycle, cand):
+            return None
+        return self._finish_hint(cand, rates)
+
+    def _siq_quiescent(self, qi: int, cycle: int, rates) -> bool:
+        """True when this S-IQ's head scan is provably a no-op at
+        ``cycle`` (one head examination, no issue, no pass) — mirroring
+        the exact break order and counters of ``_scan_one_siq``."""
+        queue = self.queues[qi]
+        if not queue:
+            return True
+        first = qi == 0
+        entry = queue[0]
+        if first:
+            rates["siq_examined"] = 1
+        if entry.ready(cycle):
+            return self._spec_issue_blocked(entry, first, rates)
+        if self.cfg.specino_so < 1:
+            return True
+        if len(self.queues[qi + 1]) >= self.queue_sizes[qi + 1]:
+            return True
+        if first:
+            return self._pass_blocked(entry, rates)
+        return False  # the non-ready head would pass downstream
+
+    def _spec_issue_blocked(self, entry: InflightInst, first: bool,
+                            rates) -> bool:
+        """Read-only twin of ``_can_issue_spec`` (same counter effects):
+        True when the ready head cannot issue this cycle."""
+        inst = entry.inst
+        if first:
+            if len(self.rob) >= self.cfg.rob_size:
+                return True
+            if not self.renamer.can_alloc(inst.dst):
+                rates["issue_stall_prf"] = rates.get("issue_stall_prf", 0) + 1
+                return True
+            if inst.is_store and not self.lsu.has_store_space():
+                return True
+            if inst.is_load and not self.lsu.has_load_space():
+                return True
+        if inst.is_mem and self.cfg.disambiguation == DISAMBIG_AGI_ORDERING:
+            if self._older_unissued_mem(entry.seq):
+                rates["agi_order_stalls"] = (
+                    rates.get("agi_order_stalls", 0) + 1)
+                return True
+        return self.fu.zero_capacity(inst.op)
+
+    def _pass_blocked(self, entry: InflightInst, rates) -> bool:
+        """Read-only twin of ``_can_pass_first`` (same counter effects):
+        True when the non-ready first-S-IQ head cannot pass downstream."""
+        inst = entry.inst
+        if len(self.rob) >= self.cfg.rob_size:
+            return True
+        if not self.renamer.can_pass(inst.dst):
+            rates["pass_stall_rename"] = rates.get("pass_stall_rename", 0) + 1
+            return True
+        if inst.is_store and not self.lsu.has_store_space():
+            return True
+        return False
 
     # -- dispatch ------------------------------------------------------------------
 
     def _dispatch(self, cycle: int) -> None:
+        fq = self.fetch.queue
+        if not fq or fq[0].ready_at > cycle:
+            return
         first = self.queues[0]
         space = self.queue_sizes[0] - len(first)
+        counters = self.stats.counters
         for inst in self.fetch.pop_ready(cycle, min(space, self.cfg.width)):
             first.append(self.make_entry(inst))
-            self.stats.add("dispatched")
+            counters["dispatched"] += 1.0
 
     # -- squash ---------------------------------------------------------------------
 

@@ -97,16 +97,34 @@ class CasinoLsu:
             return
         head = self.sq[0]
         if head in self.sentinels:
-            self.stats.add("sb_sentinel_blocks")
+            self.stats.counters["sb_sentinel_blocks"] += 1.0
             return
         if head.fill_ready is None or cycle < head.fill_ready:
             return
         if not fu.take_store_port():
             return
         self.sq.popleft()
-        self.stats.add("sb_retires")
+        self.stats.counters["sb_retires"] += 1.0
         if self.osca is not None:
             self.osca.dec(head.inst.mem_addr, head.inst.mem_size)
+
+    def retire_quiescent(self, cycle: int, rates: Dict[str, int],
+                         cand: List[int]) -> bool:
+        """Fast-forward twin of :meth:`retire_head`, strictly read-only:
+        True when the SB head provably does not retire at ``cycle``
+        (recording the per-cycle counter it bumps while blocked, or the
+        fill-arrival cycle as an event candidate); False when it would."""
+        if not self.sq or not self.sq[0].committed:
+            return True
+        head = self.sq[0]
+        if head in self.sentinels:
+            rates["sb_sentinel_blocks"] = 1
+            return True
+        if head.fill_ready is None or cycle < head.fill_ready:
+            if head.fill_ready is not None:
+                cand.append(head.fill_ready)
+            return True
+        return False
 
     # -- load issue ------------------------------------------------------------------
 
@@ -129,7 +147,7 @@ class CasinoLsu:
             skip_search = self.osca.outstanding(
                 load.inst.mem_addr, load.inst.mem_size) == 0
             if skip_search:
-                self.stats.add("osca_search_skips")
+                self.stats.counters["osca_search_skips"] += 1.0
                 load.osca_skipped = True
         forward = None
         if not skip_search:

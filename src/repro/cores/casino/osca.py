@@ -56,7 +56,7 @@ class Osca:
 
     def outstanding(self, addr: int, size: int) -> int:
         """Max counter value over the load's granules (0 => skip search)."""
-        self.stats.add("osca_access")
+        self.stats.counters["osca_access"] += 1.0
         return max(self.counters[slot] for slot in self._slots(addr, size))
 
     @property

@@ -75,7 +75,7 @@ class ConditionalRenamer:
 
     def rename_speculative(self, entry: InflightInst) -> None:
         """Speculative issue from the S-IQ: allocate a fresh register."""
-        self.stats.add("rat_reads", len(entry.inst.srcs))
+        self.stats.counters["rat_reads"] += float(len(entry.inst.srcs))
         dst = entry.inst.dst
         if dst is None:
             return
@@ -84,7 +84,7 @@ class ConditionalRenamer:
     def rename_passed(self, entry: InflightInst) -> None:
         """Pass to the IQ: reuse the current mapping (conditional scheme)
         or allocate conventionally."""
-        self.stats.add("rat_reads", len(entry.inst.srcs))
+        self.stats.counters["rat_reads"] += float(len(entry.inst.srcs))
         dst = entry.inst.dst
         if dst is None:
             return
@@ -98,7 +98,7 @@ class ConditionalRenamer:
         self.pending[phys] = count + 1
         entry.phys = phys
         entry.fresh_phys = False
-        self.stats.add("producer_count_incs")
+        self.stats.counters["producer_count_incs"] += 1.0
 
     def _alloc(self, entry: InflightInst, dst: int) -> None:
         if is_fp_reg(dst):
@@ -114,9 +114,10 @@ class ConditionalRenamer:
         entry.fresh_phys = True
         self._next_phys += 1
         self.rat[dst] = entry.phys
-        self.stats.add("rat_writes")
-        self.stats.add("reg_allocs")
-        self.stats.add("reg_allocs_fp" if is_fp_reg(dst) else "reg_allocs_int")
+        counters = self.stats.counters
+        counters["rat_writes"] += 1.0
+        counters["reg_allocs"] += 1.0
+        counters["reg_allocs_fp" if is_fp_reg(dst) else "reg_allocs_int"] += 1.0
 
     # -- lifecycle events ---------------------------------------------------------
 
@@ -143,7 +144,7 @@ class ConditionalRenamer:
             self.free_fp += 1
         else:
             self.free_int += 1
-        self.stats.add("freelist_ops")
+        self.stats.counters["freelist_ops"] += 1.0
 
     def squash(self, entries_young_to_old: Iterable[InflightInst]) -> None:
         """Recovery-log walk: undo rename effects of squashed instructions.

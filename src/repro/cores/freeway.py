@@ -84,6 +84,14 @@ class FreewayCore(LoadSliceCore):
                     self.tracer.emit("siq_promote", cycle, entry.seq,
                                      from_queue="B", to_queue="Y")
 
+    def _steer_target(self, inst):
+        """Freeway steering (read-only), including the yielding queue."""
+        if self._steer_to_b(inst):
+            if self._is_dependent_slice(inst):
+                return self.yiq, self.cfg.yiq_size
+            return self.biq, self.cfg.biq_size
+        return self.aiq, self.cfg.aiq_size
+
     def _is_dependent_slice(self, inst) -> bool:
         """A slice instruction whose value depends on an outstanding load of
         an older slice yields (it would stall the B-IQ head otherwise)."""

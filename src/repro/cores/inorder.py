@@ -57,10 +57,20 @@ class InOrderCore(CoreModel):
     # -- pipeline stages -----------------------------------------------------
 
     def _step(self, cycle: int) -> None:
-        self._retire_stores(cycle)
-        self._commit(cycle)
-        self._issue(cycle)
-        self._dispatch(cycle)
+        # Guards mirror each stage's own early-out so stalled cycles skip
+        # the call entirely; the stages stay correct when called directly.
+        if self.sb:
+            self._retire_stores(cycle)
+        scb = self.scb
+        if scb:
+            done = scb[0].done_at
+            if done is not None and done <= cycle:
+                self._commit(cycle)
+        if self.iq:
+            self._issue(cycle)
+        fq = self.fetch.queue
+        if fq and fq[0].ready_at <= cycle:
+            self._dispatch(cycle)
 
     def _retire_stores(self, cycle: int) -> None:
         """Drain the store-buffer head into the L1D (one per cycle); a
@@ -74,47 +84,51 @@ class InOrderCore(CoreModel):
         if not self.fu.take_store_port():
             return
         self.sb.popleft()
-        self.stats.add("sb_retires")
+        self.stats.counters["sb_retires"] += 1.0
 
     def _commit(self, cycle: int) -> None:
         """In-order write-back/commit from the SCB head."""
         committed = 0
-        while (self.scb and committed < self.cfg.width
-               and self.scb[0].done_at is not None
-               and self.scb[0].done_at <= cycle):
-            entry = self.scb[0]
+        counters = self.stats.counters
+        scb = self.scb
+        while (scb and committed < self.cfg.width
+               and scb[0].done_at is not None
+               and scb[0].done_at <= cycle):
+            entry = scb[0]
             if entry.inst.is_store:
                 if len(self.sb) >= self.cfg.sq_sb_size:
-                    self.stats.add("sb_full_stalls")
+                    counters["sb_full_stalls"] += 1.0
                     break
                 self.sb.append(entry)
                 self.start_store_fill(entry, cycle)
-                self.stats.add("sb_writes")
-            self.scb.popleft()
+                counters["sb_writes"] += 1.0
+            scb.popleft()
             self.note_commit(entry, cycle)
-            self.stats.add("scb_access")
+            counters["scb_access"] += 1.0
             committed += 1
 
     def _issue(self, cycle: int) -> None:
         """Strict in-order issue: stop at the first non-issuable head."""
         issued = 0
-        while self.iq and issued < self.cfg.width:
-            entry = self.iq[0]
+        counters = self.stats.counters
+        iq = self.iq
+        while iq and issued < self.cfg.width:
+            entry = iq[0]
             if not entry.ready(cycle):
-                self.stats.add("issue_stall_src")
+                counters["issue_stall_src"] += 1.0
                 break
             if len(self.scb) >= self.cfg.scb_size:
-                self.stats.add("issue_stall_scb")
+                counters["issue_stall_scb"] += 1.0
                 break
             if not self.fu.take(entry.inst.op):
-                self.stats.add("issue_stall_fu")
+                counters["issue_stall_fu"] += 1.0
                 break
-            self.iq.popleft()
+            iq.popleft()
             self._execute(entry, cycle)
             self.scb.append(entry)
             issued += 1
-            self.stats.add("issued")
-            self.stats.add("scb_access")
+            counters["issued"] += 1.0
+            counters["scb_access"] += 1.0
 
     def _execute(self, entry: InflightInst, cycle: int) -> None:
         inst = entry.inst
@@ -134,6 +148,7 @@ class InOrderCore(CoreModel):
         if self.tracer is not None:
             self.trace_issue(entry, cycle)
         self.resolve_branch_if_gating(entry)
+        self._schedule_wakeup(entry)
 
     def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:
         """Youngest older store (SCB or SB) writing the load's bytes.
@@ -156,7 +171,50 @@ class InOrderCore(CoreModel):
         return best
 
     def _dispatch(self, cycle: int) -> None:
+        fq = self.fetch.queue
+        if not fq or fq[0].ready_at > cycle:
+            return
         space = self.cfg.iq_size - len(self.iq)
+        counters = self.stats.counters
         for inst in self.fetch.pop_ready(cycle, min(space, self.cfg.width)):
             self.iq.append(self.make_entry(inst))
-            self.stats.add("dispatched")
+            counters["dispatched"] += 1.0
+
+    # -- event-driven fast forward --------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        """Mirror of ``_step``'s stage gates, read-only: ``None`` as soon
+        as any stage would act this cycle, else the stall counters each
+        blocked stage bumps per cycle plus the unblock-time candidates."""
+        rates = {}
+        cand = []
+        if self.sb:
+            head = self.sb[0]
+            if head.fill_ready is not None and head.fill_ready > cycle:
+                cand.append(head.fill_ready)
+            else:
+                return None  # fill arrived: head retires (port free at start)
+        if self.scb:
+            head = self.scb[0]
+            if head.done_at is not None and head.done_at <= cycle:
+                if not (head.inst.is_store
+                        and len(self.sb) >= self.cfg.sq_sb_size):
+                    return None  # head would commit
+                rates["sb_full_stalls"] = 1
+            # else: completion is on the wakeup calendar
+        if self.iq:
+            head = self.iq[0]
+            if not head.ready(cycle):
+                rates["issue_stall_src"] = 1
+            elif len(self.scb) >= self.cfg.scb_size:
+                rates["issue_stall_scb"] = 1
+            elif not self.fu.zero_capacity(head.inst.op):
+                return None  # head would issue
+            else:
+                rates["issue_stall_fu"] = 1
+        if not self._dispatch_quiescent(cycle, cand,
+                                        self.cfg.iq_size - len(self.iq)):
+            return None
+        if not self._fetch_quiescent(cycle, cand):
+            return None
+        return self._finish_hint(cand, rates)

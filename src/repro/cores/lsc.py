@@ -176,6 +176,7 @@ class LoadSliceCore(CoreModel):
         if self.tracer is not None:
             self.trace_issue(entry, cycle, queue=entry.queue_tag)
         self.resolve_branch_if_gating(entry)
+        self._schedule_wakeup(entry)
 
     def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:
         """Older stores are all resolved (in-order AGIs in the B-IQ)."""
@@ -219,6 +220,55 @@ class LoadSliceCore(CoreModel):
 
     def _steer_to_b(self, inst) -> bool:
         return inst.is_mem or inst.pc in self.ist
+
+    def _steer_target(self, inst):
+        """Read-only steering decision: (queue, capacity) for ``inst``."""
+        if self._steer_to_b(inst):
+            return self.biq, self.cfg.biq_size
+        return self.aiq, self.cfg.aiq_size
+
+    # -- event-driven fast forward --------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        rates = {}
+        cand = []
+        cfg = self.cfg
+        if self.sb:
+            head = self.sb[0]
+            if head.fill_ready is not None and head.fill_ready > cycle:
+                cand.append(head.fill_ready)
+            else:
+                return None  # SB head retires
+        if self.rob:
+            head = self.rob[0]
+            if head.done_at is not None and head.done_at <= cycle:
+                if not (head.inst.is_store
+                        and len(self.sb) >= cfg.sq_sb_size):
+                    return None  # head would commit
+                # full SB blocks commit silently (no counter)
+        for queue in self._accounting_queues():
+            if not queue:
+                continue
+            head = queue[0]
+            if not head.ready(cycle):
+                continue  # completion is on the wakeup calendar
+            if self._hazard(head):
+                rates["hazard_stalls"] = rates.get("hazard_stalls", 0) + 1
+                continue
+            if not self.fu.zero_capacity(head.inst.op):
+                return None  # head would issue
+        queue = self.fetch.queue
+        if queue:
+            fhead = queue[0]
+            if fhead.ready_at > cycle:
+                cand.append(fhead.ready_at)
+            elif len(self.rob) < cfg.rob_size:
+                target, cap = self._steer_target(fhead.inst)
+                if len(target) < cap:
+                    return None  # head would dispatch
+        if not self._fetch_quiescent(cycle, cand):
+            return None
+        return self._finish_hint(cand, rates)
 
     def _learn(self, inst) -> None:
         """Iterative backward dependence analysis (one level per pass)."""

@@ -159,7 +159,7 @@ class OutOfOrderCore(CoreModel):
             if inst.dst is not None:
                 self._free_reg(inst.dst)
             self.note_commit(entry, cycle)
-            self.stats.add("rob_reads")
+            self.stats.counters["rob_reads"] += 1.0
             committed += 1
 
     def _free_reg(self, dst: int) -> None:
@@ -167,14 +167,15 @@ class OutOfOrderCore(CoreModel):
             self.free_fp += 1
         else:
             self.free_int += 1
-        self.stats.add("freelist_ops")
+        self.stats.counters["freelist_ops"] += 1.0
 
     # -- issue (wakeup / select) -------------------------------------------------
 
     def _issue(self, cycle: int) -> None:
         if not self.iq:
             return
-        self.stats.add("iq_select")
+        counters = self.stats.counters
+        counters["iq_select"] += 1.0
         candidates = [e for e in self.iq if e.ready(cycle)]
         candidates.sort(key=lambda e: e.seq)  # oldest-first age matrix
         issued = 0
@@ -189,7 +190,7 @@ class OutOfOrderCore(CoreModel):
                 # predicted store to resolve (or vanish in a squash).
                 pred = entry.sentinel_on
                 if pred.issue_at is None and pred in self.sq:
-                    self.stats.add("storeset_blocks")
+                    counters["storeset_blocks"] += 1.0
                     continue
                 entry.sentinel_on = None
             if not self.fu.take(inst.op):
@@ -197,11 +198,11 @@ class OutOfOrderCore(CoreModel):
             self.iq.remove(entry)
             self._execute(entry, cycle)
             issued += 1
-            self.stats.add("issued")
-            self.stats.add("prf_reads", len(inst.srcs))
-            self.stats.add("prf_writes", 1 if inst.dst is not None else 0)
+            counters["issued"] += 1.0
+            counters["prf_reads"] += float(len(inst.srcs))
+            counters["prf_writes"] += 1.0 if inst.dst is not None else 0.0
             # Completion broadcasts the dest tag across the IQ CAM.
-            self.stats.add("iq_wakeup_cam", len(self.iq))
+            counters["iq_wakeup_cam"] += float(len(self.iq))
 
     def _execute(self, entry: InflightInst, cycle: int) -> None:
         inst = entry.inst
@@ -216,6 +217,7 @@ class OutOfOrderCore(CoreModel):
         if self.tracer is not None:
             self.trace_issue(entry, cycle)
         self.resolve_branch_if_gating(entry)
+        self._schedule_wakeup(entry)
 
     def _execute_load(self, entry: InflightInst, cycle: int) -> None:
         # Forwarding search over the unified SQ/SB.
@@ -289,6 +291,7 @@ class OutOfOrderCore(CoreModel):
 
     def _dispatch(self, cycle: int) -> None:
         dispatched = 0
+        counters = self.stats.counters
         while dispatched < self.cfg.width:
             inst = self.fetch.peek_ready(cycle)
             if inst is None:
@@ -309,13 +312,13 @@ class OutOfOrderCore(CoreModel):
             self.fetch.pop_ready(cycle, 1)
             entry = self.make_entry(inst)
             entry.fresh_phys = inst.dst is not None
-            self.stats.add("rat_reads", len(inst.srcs))
+            counters["rat_reads"] += float(len(inst.srcs))
             if inst.dst is not None:
-                self.stats.add("rat_writes")
+                counters["rat_writes"] += 1.0
             self.iq.append(entry)
             self.rob.append(entry)
-            self.stats.add("rob_writes")
-            self.stats.add("iq_writes")
+            counters["rob_writes"] += 1.0
+            counters["iq_writes"] += 1.0
             if inst.is_load and not self.nolq:
                 self.lq.append(entry)
             if inst.is_load and self.store_sets is not None:
@@ -326,7 +329,7 @@ class OutOfOrderCore(CoreModel):
                 if self.store_sets is not None:
                     self.store_sets.store_dispatched(entry)
             dispatched += 1
-            self.stats.add("dispatched")
+            counters["dispatched"] += 1.0
 
     def _alloc_reg(self, dst: int) -> bool:
         if dst >= NUM_INT_ARCH:
@@ -337,5 +340,65 @@ class OutOfOrderCore(CoreModel):
             if self.free_int <= 0:
                 return False
             self.free_int -= 1
-        self.stats.add("freelist_ops")
+        self.stats.counters["freelist_ops"] += 1.0
         return True
+
+    def _can_alloc(self, dst: int) -> bool:
+        """Read-only twin of ``_alloc_reg`` for the fast-forward check."""
+        return (self.free_fp if dst >= NUM_INT_ARCH else self.free_int) > 0
+
+    # -- event-driven fast forward --------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        rates = {}
+        cand = []
+        cfg = self.cfg
+        if self.sq and self.sq[0].committed:
+            head = self.sq[0]
+            if head.fill_ready is not None and head.fill_ready > cycle:
+                cand.append(head.fill_ready)
+            else:
+                return None  # SB head retires
+        if self.rob:
+            head = self.rob[0]
+            if head.done_at is not None and head.done_at <= cycle:
+                return None  # commits (or value-check squashes) this cycle
+        if self.iq:
+            rates["iq_select"] = 1
+            blocks = 0
+            for entry in self.iq:
+                if not entry.ready(cycle):
+                    continue
+                inst = entry.inst
+                if inst.is_load and entry.sentinel_on is not None:
+                    pred = entry.sentinel_on
+                    if pred.issue_at is None and pred in self.sq:
+                        blocks += 1
+                        continue
+                    return None  # clearing the stale sentinel mutates state
+                if not self.fu.zero_capacity(inst.op):
+                    return None  # a ready candidate would issue
+            if blocks:
+                rates["storeset_blocks"] = blocks
+        queue = self.fetch.queue
+        if queue:
+            fhead = queue[0]
+            if fhead.ready_at > cycle:
+                cand.append(fhead.ready_at)
+            else:
+                inst = fhead.inst
+                if (len(self.rob) >= cfg.rob_size
+                        or len(self.iq) >= cfg.iq_size):
+                    rates["dispatch_stall_window"] = 1
+                elif (inst.is_load and not self.nolq
+                        and len(self.lq) >= cfg.lq_size):
+                    rates["dispatch_stall_lq"] = 1
+                elif inst.is_store and len(self.sq) >= cfg.sq_sb_size:
+                    rates["dispatch_stall_sq"] = 1
+                elif inst.dst is not None and not self._can_alloc(inst.dst):
+                    rates["dispatch_stall_prf"] = 1
+                else:
+                    return None  # head would dispatch
+        if not self._fetch_quiescent(cycle, cand):
+            return None
+        return self._finish_hint(cand, rates)

@@ -183,6 +183,7 @@ class SpecInOCore(CoreModel):
         if self.tracer is not None:
             self.trace_issue(entry, cycle)
         self.resolve_branch_if_gating(entry)
+        self._schedule_wakeup(entry)
 
     def _forwarding_store(self, load: InflightInst) -> Optional[InflightInst]:
         """Oracle disambiguation: forward from the youngest older store
@@ -204,3 +205,58 @@ class SpecInOCore(CoreModel):
         for inst in self.fetch.pop_ready(cycle, min(space, self.cfg.width)):
             self.iq.append(self.make_entry(inst))
             self.stats.add("dispatched")
+
+    # -- event-driven fast forward --------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        rates = {}
+        cand = []
+        cfg = self.cfg
+        if self.sb:
+            head = self.sb[0]
+            if head.fill_ready is not None and head.fill_ready > cycle:
+                cand.append(head.fill_ready)
+            else:
+                return None  # SB head retires
+        if self.window:
+            head = self.window[0]
+            if (head.seq == self.next_commit and head.done_at is not None
+                    and head.done_at <= cycle):
+                if not (head.inst.is_store
+                        and len(self.sb) >= cfg.sq_sb_size):
+                    return None  # head would commit
+                # full SB blocks commit silently (no counter)
+        if self.iq:
+            head = self.iq[0]
+            if head.issue_at is not None:
+                return None  # drain pop (and spec_pos slide-back) mutates
+            if (head.ready(cycle) and len(self.window) < cfg.rob_size
+                    and not self.fu.zero_capacity(head.inst.op)):
+                return None  # head would issue
+        if len(self.iq) > 1:
+            if self.spec_pos > len(self.iq) - 1:
+                return None  # window-start clamp mutates spec_pos
+            end = min(self.spec_pos + cfg.specino_ws, len(self.iq))
+            for index in range(self.spec_pos, end):
+                entry = self.iq[index]
+                if entry.issue_at is not None:
+                    continue
+                if entry.inst.is_mem and not cfg.specino_mem:
+                    continue
+                if not entry.ready(cycle):
+                    continue
+                if len(self.window) >= cfg.rob_size:
+                    break
+                if self.fu.zero_capacity(entry.inst.op):
+                    continue
+                return None  # a window entry would issue speculatively
+            if self.spec_pos != min(self.spec_pos + cfg.specino_so,
+                                    max(1, len(self.iq) - 1)):
+                return None  # the window would slide; only a saturated
+                # window position is a stable (skippable) state
+        if not self._dispatch_quiescent(cycle, cand,
+                                        cfg.iq_size - len(self.iq)):
+            return None
+        if not self._fetch_quiescent(cycle, cand):
+            return None
+        return self._finish_hint(cand, rates)

@@ -10,7 +10,8 @@ all models.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import (
     BranchPredictorConfig,
@@ -23,6 +24,18 @@ from repro.engine.stream import InstStream
 from repro.frontend.fetch import FetchUnit
 from repro.isa.instruction import DynInst
 from repro.memory.hierarchy import MemoryHierarchy
+
+#: Sentinel "no event scheduled" cycle: far enough out that the watchdog
+#: or cycle budget always clamps a fast-forward jump first.
+_FAR_FUTURE = 1 << 62
+
+
+def _resolve_fast_forward(fast_forward) -> bool:
+    """Map a ``run(fast_forward=...)`` argument to a bool.  ``None``
+    defers to the ``REPRO_NO_SKIP`` environment variable."""
+    if fast_forward is None:
+        return os.environ.get("REPRO_NO_SKIP", "0") != "1"
+    return bool(fast_forward)
 
 
 class SimulationError(RuntimeError):
@@ -49,6 +62,8 @@ class InflightInst:
     __slots__ = (
         "inst", "seq", "producers", "done_at", "issue_at", "committed",
         "dispatch_at", "fill_ready",
+        # wakeup-driven readiness (maintained by CoreModel's calendar)
+        "n_pending", "waiters",
         # register renaming state
         "phys", "prev_phys", "fresh_phys", "from_siq",
         # memory state
@@ -63,6 +78,12 @@ class InflightInst:
         self.inst = inst
         self.seq = inst.seq
         self.producers = list(producers)
+        # Conservative count of producers not yet complete; decremented by
+        # the owning core's wakeup calendar.  Entries built outside
+        # CoreModel.make_entry keep the conservative count and fall back to
+        # the exact done_at poll in ready().
+        self.n_pending = len(producers)
+        self.waiters: List["InflightInst"] = []
         self.done_at: Optional[int] = None
         self.issue_at: Optional[int] = None
         self.dispatch_at: Optional[int] = None
@@ -80,7 +101,17 @@ class InflightInst:
         self.queue_tag = ""
 
     def ready(self, cycle: int) -> bool:
-        """All source operands available by ``cycle``?"""
+        """All source operands available by ``cycle``?
+
+        Fast path: the wakeup calendar decrements ``n_pending`` as each
+        producer's completion cycle is reached, so the common case is one
+        integer compare.  The counter is conservative (it only reaches
+        zero once every registered producer has genuinely completed), so
+        a nonzero count falls back to the exact ``done_at`` poll — which
+        keeps direct construction and fault-mutated producers correct.
+        """
+        if self.n_pending == 0:
+            return True
         for producer in self.producers:
             if producer.done_at is None or producer.done_at > cycle:
                 return False
@@ -154,6 +185,18 @@ class CoreModel:
         self._expected_commit_seq = 0
         self._last_squash_seq: Optional[int] = None
         self._last_squash_reason = ""
+        # Wakeup calendar: completion cycle -> producers finishing then.
+        # Fed by _schedule_wakeup() from every core's execute stage; its
+        # minimum key doubles as the "next in-flight completion" event for
+        # the fast-forward evaluators.
+        self._wakeup_cal: Dict[int, List[InflightInst]] = {}
+        # Integer mirror of stats.counters["committed"], so the hot loop's
+        # warmup check avoids a dict lookup per cycle.
+        self._committed = 0
+        # Fast-forward telemetry (plain attributes, not Stats counters:
+        # counters must stay bit-identical with skipping on or off).
+        self.ff_spans = 0
+        self.ff_skipped_cycles = 0
         if self.schedule is not None:
             self.schedule = []
         self._reset()
@@ -162,7 +205,8 @@ class CoreModel:
             warmup: int = 0, warm_icache: bool = False,
             record_schedule: bool = False, sanitize=None, faults=None,
             deadlock_cycles: Optional[int] = None, tracer=None,
-            sampler=None, profiler=None, accounting=None) -> Stats:
+            sampler=None, profiler=None, accounting=None,
+            fast_forward=None) -> Stats:
         """Simulate the whole trace; returns the statistics bag.
 
         ``warmup`` discards the counters accumulated while committing the
@@ -191,6 +235,14 @@ class CoreModel:
         only read simulator state — attaching them never changes timing,
         and when left ``None`` (the default) the seed code paths run
         unchanged.
+        ``fast_forward`` controls event-driven quiescence skipping: when
+        the core's read-only ``_next_event_cycle`` hook proves every cycle
+        up to the next event is a no-op, the loop jumps straight there,
+        accruing the per-cycle stall counters for the span.  Timing and
+        every counter are bit-identical either way.  ``None`` defers to
+        the ``REPRO_NO_SKIP`` environment variable; skipping is disabled
+        automatically when faults, the sanitizer or a metrics sampler
+        (which must see every cycle) are attached.
         """
         from repro.engine.sanitizer import resolve_sanitizer
         self.sanitizer = resolve_sanitizer(sanitize)
@@ -206,39 +258,99 @@ class CoreModel:
             profiler.attach(self)
             profiler.begin_run()
         if warm_icache:
-            for line in {inst.pc >> 6 for inst in trace}:
+            for line in {inst.line for inst in trace}:
                 self.hier.l1i.install_prefetch(line << 6, fill_at=-1)
         cycle = 0
         warm_snapshot = None
         warm_cycle = 0
+        # Quiescence skipping is provably bit-identical only for the pure
+        # timing path plus the observers that tolerate (tracer, profiler)
+        # or handle (accounting, via on_idle_span) idle spans.  Faults
+        # mutate state on arbitrary cycles and sanitizer/sampler assert or
+        # sample per cycle, so any of them pins the loop to single steps.
+        skip_ok = (_resolve_fast_forward(fast_forward)
+                   and faults is None and self.sanitizer is None
+                   and sampler is None)
+        counters = self.stats.counters
+        fu = self.fu
+        fetch_tick = self.fetch.tick
+        acct = self.accounting
+        slow_observers = (self.faults is not None or acct is not None
+                          or self.sanitizer is not None
+                          or self.sampler is not None)
+        wakeup_cal = self._wakeup_cal
+        fire_wakeups = self._fire_wakeups
+        next_event_cycle = self._next_event_cycle
         try:
             while not (self.fetch.drained and self.pipeline_empty()):
+                if skip_ok:
+                    hint = next_event_cycle(cycle)
+                    if hint is not None:
+                        target, rates = hint
+                        wd_fire = self._last_commit_cycle + watchdog + 1
+                        mc_fire = max_cycles + 1
+                        stop = min(target, wd_fire, mc_fire)
+                        if stop > cycle:
+                            span = stop - cycle
+                            for key, rate in rates.items():
+                                counters[key] += float(rate * span)
+                            if acct is not None:
+                                acct.on_idle_span(self, cycle, stop - 1)
+                            self.ff_spans += 1
+                            self.ff_skipped_cycles += span
+                            self._drain_wakeups(stop)
+                            cycle = stop
+                            if stop == wd_fire:
+                                self.cycle = stop - 1
+                                raise SimulationError(
+                                    f"{self.cfg.name}: no commit for "
+                                    f"{watchdog} cycles at cycle {cycle} "
+                                    f"(deadlock?) - {self._debug_state()}",
+                                    core=self.cfg.name,
+                                    check="deadlock_watchdog", cycle=cycle,
+                                    last_commit_cycle=self._last_commit_cycle,
+                                    committed=self._committed,
+                                    debug=self._debug_state())
+                            if stop == mc_fire:
+                                self.cycle = stop - 1
+                                raise SimulationError(
+                                    f"{self.cfg.name}: exceeded {max_cycles} "
+                                    f"cycles - {self._debug_state()}",
+                                    core=self.cfg.name, check="cycle_budget",
+                                    cycle=cycle, max_cycles=max_cycles,
+                                    committed=self._committed,
+                                    debug=self._debug_state())
                 self.cycle = cycle
-                self.fu.reset()
+                if wakeup_cal:
+                    bucket = wakeup_cal.pop(cycle, None)
+                    if bucket is not None:
+                        fire_wakeups(bucket, cycle, wakeup_cal)
+                fu.reset()
                 self._step(cycle)
-                if self.faults is not None:
-                    self.faults.on_cycle(self, cycle)
-                if self.accounting is not None:
-                    self.accounting.on_cycle(self, cycle)
-                if self.sanitizer is not None:
-                    self.sanitizer.check_cycle(self, cycle)
-                if self.sampler is not None:
-                    self.sampler.on_cycle(self, cycle)
-                self.fetch.tick(cycle)
+                if slow_observers:
+                    if self.faults is not None:
+                        self.faults.on_cycle(self, cycle)
+                    if acct is not None:
+                        acct.on_cycle(self, cycle)
+                    if self.sanitizer is not None:
+                        self.sanitizer.check_cycle(self, cycle)
+                    if self.sampler is not None:
+                        self.sampler.on_cycle(self, cycle)
+                fetch_tick(cycle)
                 cycle += 1
                 if (warmup and warm_snapshot is None
-                        and self.stats.counters.get("committed", 0) >= warmup):
-                    warm_snapshot = dict(self.stats.counters)
+                        and self._committed >= warmup):
+                    warm_snapshot = dict(counters)
                     warm_cycle = cycle
-                    if self.accounting is not None:
-                        self.accounting.on_warmup()
+                    if acct is not None:
+                        acct.on_warmup()
                 if cycle - self._last_commit_cycle > watchdog:
                     raise SimulationError(
                         f"{self.cfg.name}: no commit for {watchdog} cycles at "
                         f"cycle {cycle} (deadlock?) - {self._debug_state()}",
                         core=self.cfg.name, check="deadlock_watchdog",
                         cycle=cycle, last_commit_cycle=self._last_commit_cycle,
-                        committed=self.stats.counters.get("committed", 0),
+                        committed=self._committed,
                         debug=self._debug_state())
                 if cycle > max_cycles:
                     raise SimulationError(
@@ -246,7 +358,7 @@ class CoreModel:
                         f"{self._debug_state()}",
                         core=self.cfg.name, check="cycle_budget", cycle=cycle,
                         max_cycles=max_cycles,
-                        committed=self.stats.counters.get("committed", 0),
+                        committed=self._committed,
                         debug=self._debug_state())
         finally:
             if profiler is not None:
@@ -316,6 +428,125 @@ class CoreModel:
         """
         return None
 
+    # -- event-driven fast forward ---------------------------------------------
+
+    def _next_event_cycle(self, cycle: int):
+        """Fast-forward hook: prove the current state quiescent, or don't.
+
+        Called at the top of the run loop (before this cycle's pool reset
+        and ``_step``) and **strictly read-only**.  Returns ``None`` when
+        any state change is (or may be) possible at ``cycle``; otherwise a
+        ``(target, rates)`` pair where ``target > cycle`` is the earliest
+        cycle at which the state can change and ``rates`` maps counter
+        names to their exact per-cycle increment over the quiescent span
+        ``cycle .. target-1``.  The base implementation never skips;
+        subclasses combine the shared helpers below with their own
+        structural-stall analysis.
+        """
+        return None
+
+    def _finish_hint(self, cand: List[int], rates: Dict[str, int]):
+        """Fold candidate events and the wakeup-calendar minimum into the
+        ``(target, rates)`` hint.  The calendar covers every in-flight
+        completion, so any readiness change is bounded by its minimum."""
+        target = min(cand) if cand else _FAR_FUTURE
+        cal = self._wakeup_cal
+        if cal:
+            first = min(cal)
+            if first < target:
+                target = first
+        return target, rates
+
+    def _fetch_quiescent(self, cycle: int, cand: List[int]) -> bool:
+        """True when ``fetch.tick(cycle)`` is provably a no-op.
+
+        Appends the icache-refill unblock cycle as an event candidate —
+        both because fetch resumes then and because cycle accounting's
+        frontend detail flips from ``refill`` to ``decode`` at that exact
+        cycle.  A fetch blocked on an unresolved branch unblocks only via
+        an issue (activity the other evaluator clauses bound), so it needs
+        no candidate.
+        """
+        fetch = self.fetch
+        if fetch.blocked_seq is not None:
+            return True
+        if fetch.stalled_until > cycle:
+            cand.append(fetch.stalled_until)
+            return True
+        if fetch.stream.peek() is None:
+            return True
+        return len(fetch.queue) >= fetch.capacity
+
+    def _dispatch_quiescent(self, cycle: int, cand: List[int],
+                            space: int) -> bool:
+        """True when a plain pop-into-queue dispatch stage (InO, SpecInO,
+        CASINO) provably dispatches nothing at ``cycle``; appends the
+        decode-ready cycle of the fetch-queue head as an event."""
+        queue = self.fetch.queue
+        if not queue:
+            return True
+        ready_at = queue[0].ready_at
+        if ready_at > cycle:
+            cand.append(ready_at)
+            return True
+        return space <= 0
+
+    def _schedule_wakeup(self, entry: InflightInst) -> None:
+        """Register a just-executed instruction's completion on the wakeup
+        calendar.  Call from the execute stage once ``done_at`` is set."""
+        done_at = entry.done_at
+        if done_at is None:
+            return
+        if done_at <= self.cycle:
+            waiters = entry.waiters
+            if waiters:
+                for waiter in waiters:
+                    waiter.n_pending -= 1
+                waiters.clear()
+            return
+        bucket = self._wakeup_cal.get(done_at)
+        if bucket is None:
+            self._wakeup_cal[done_at] = [entry]
+        else:
+            bucket.append(entry)
+
+    @staticmethod
+    def _fire_wakeups(producers: List[InflightInst], cycle: int,
+                      cal: Dict[int, List[InflightInst]]) -> None:
+        """Deliver one calendar bucket: decrement each waiter's pending
+        count.  A producer whose ``done_at`` moved since scheduling (fault
+        injection) is re-queued or dropped instead — ``n_pending`` only
+        ever reaches zero once every producer has genuinely completed."""
+        for producer in producers:
+            done_at = producer.done_at
+            if done_at is None:
+                continue
+            if done_at > cycle:
+                cal.setdefault(done_at, []).append(producer)
+                continue
+            waiters = producer.waiters
+            if waiters:
+                for waiter in waiters:
+                    waiter.n_pending -= 1
+                waiters.clear()
+
+    def _process_wakeups(self, cycle: int) -> None:
+        producers = self._wakeup_cal.pop(cycle, None)
+        if producers is not None:
+            self._fire_wakeups(producers, cycle, self._wakeup_cal)
+
+    def _drain_wakeups(self, stop: int) -> None:
+        """Deliver every calendar bucket at or before ``stop`` (the target
+        of a fast-forward jump), keeping the all-keys-in-the-future
+        invariant that lets ``min(calendar)`` bound the next event."""
+        cal = self._wakeup_cal
+        while True:
+            due = [key for key in cal if key <= stop]
+            if not due:
+                return
+            for key in due:
+                self._fire_wakeups(cal.pop(key), key, cal)
+
     # -- shared helpers ---------------------------------------------------------
 
     def make_entry(self, inst: DynInst) -> InflightInst:
@@ -328,13 +559,25 @@ class CoreModel:
                 producers.append(writer)
         entry = InflightInst(inst, producers)
         entry.dispatch_at = self.cycle
+        # Exact pending count + wakeup registration: producers already
+        # complete by now never gate this entry; the rest decrement
+        # n_pending when their calendar bucket fires.
+        if producers:
+            cycle = self.cycle
+            pending = 0
+            for producer in producers:
+                done_at = producer.done_at
+                if done_at is None or done_at > cycle:
+                    producer.waiters.append(entry)
+                    pending += 1
+            entry.n_pending = pending
         if inst.dst is not None:
             self.last_writer[inst.dst] = entry
         if self.faults is not None:
             self.faults.on_entry(entry)
         if self.tracer is not None:
             self.tracer.emit("dispatch", self.cycle, entry.seq,
-                             op=inst.op.name,
+                             op=inst.op_name,
                              producers=[p.seq for p in producers])
         return entry
 
@@ -353,7 +596,8 @@ class CoreModel:
             self.sanitizer.check_commit(self, entry, cycle)
         self._expected_commit_seq = entry.seq + 1
         entry.committed = True
-        self.stats.add("committed")
+        self.stats.counters["committed"] += 1.0
+        self._committed += 1
         self._last_commit_cycle = cycle
         if self.schedule is not None:
             self.schedule.append((entry.seq, entry.inst, entry.issue_at,
@@ -363,9 +607,10 @@ class CoreModel:
             self.tracer.emit("commit", cycle, entry.seq,
                              issue_at=entry.issue_at, done_at=entry.done_at,
                              from_siq=entry.from_siq)
-        if self.last_writer.get(entry.inst.dst) is entry:
+        dst = entry.inst.dst
+        if dst is not None and self.last_writer.get(dst) is entry:
             # Keep the map small: a committed producer is always ready.
-            del self.last_writer[entry.inst.dst]
+            del self.last_writer[dst]
 
     def resolve_branch_if_gating(self, entry: InflightInst) -> None:
         """Unblock fetch when the gating mispredicted branch gets a
@@ -390,7 +635,7 @@ class CoreModel:
             if producer.done_at is not None and producer.done_at > ready_at:
                 ready_at = producer.done_at
         tracer.emit("wakeup", ready_at, entry.seq, issued_at=cycle)
-        tracer.emit("issue", cycle, entry.seq, op=entry.inst.op.name,
+        tracer.emit("issue", cycle, entry.seq, op=entry.inst.op_name,
                     ready_at=ready_at, **data)
         if entry.done_at is not None:
             tracer.emit("execute_done", entry.done_at, entry.seq,

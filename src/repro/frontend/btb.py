@@ -25,9 +25,10 @@ class Btb:
     def lookup(self, pc: int) -> Optional[int]:
         """Predicted target of the branch at ``pc`` (None on a BTB miss)."""
         ways = self.sets.get(self._set_idx(pc))
-        self.stats.add("btb_lookups")
+        counters = self.stats.counters
+        counters["btb_lookups"] += 1.0
         if ways is None or pc not in ways:
-            self.stats.add("btb_misses")
+            counters["btb_misses"] += 1.0
             return None
         target, _ = ways[pc]
         self._stamp += 1

@@ -57,34 +57,41 @@ class FetchUnit:
         """Fetch up to ``width`` instructions this cycle."""
         if self.blocked_seq is not None or cycle < self.stalled_until:
             return
+        queue = self.queue
+        if len(queue) >= self.capacity:
+            return  # decode pipe backed up: nothing can be fetched
         fetched = 0
-        while fetched < self.cfg.width and len(self.queue) < self.capacity:
-            inst = self.stream.peek()
+        width = self.cfg.width
+        frontend_latency = self.cfg.frontend_latency
+        stream = self.stream
+        counters = self.stats.counters
+        while fetched < width and len(queue) < self.capacity:
+            inst = stream.peek()
             if inst is None:
                 return
-            extra = self._icache(inst.pc, cycle)
+            extra = self._icache(inst, cycle)
             if extra > 0:
                 # I-cache miss: this instruction (and everything behind it)
                 # arrives after the fill.
                 self.stalled_until = cycle + extra
                 return
-            self.stream.fetch()
-            self.queue.append(FetchedInst(inst, cycle + self.cfg.frontend_latency))
+            stream.fetch()
+            queue.append(FetchedInst(inst, cycle + frontend_latency))
             fetched += 1
-            self.stats.add("fetched")
+            counters["fetched"] += 1.0
             if inst.is_branch and self._predict(inst):
                 return  # mispredicted: gate fetch until resolution
             if inst.is_branch and inst.taken:
                 return  # correctly-predicted taken branch ends the group
 
-    def _icache(self, pc: int, cycle: int) -> int:
+    def _icache(self, inst: DynInst, cycle: int) -> int:
         """Access the L1I when crossing into a new line; returns extra stall
         cycles beyond the pipelined hit latency."""
-        line = pc >> 6
+        line = inst.line
         if line == self._line:
             return 0
         self._line = line
-        latency = self.hierarchy.ifetch(pc, cycle)
+        latency = self.hierarchy.ifetch(inst.pc, cycle)
         hit = self.hierarchy.l1i.cfg.latency
         return max(0, latency - hit)
 

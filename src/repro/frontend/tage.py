@@ -68,7 +68,7 @@ class Tage:
     def predict(self, pc: int) -> bool:
         """Predict the direction of the conditional branch at ``pc``."""
         provider, _, pred, _ = self._lookup(pc)
-        self.stats.add("bp_lookups")
+        self.stats.counters["bp_lookups"] += 1.0
         return pred
 
     def _lookup(self, pc: int):
@@ -98,7 +98,7 @@ class Tage:
         """Train on the actual outcome and advance the global history."""
         provider, provider_idx, pred, alt = self._lookup(pc)
         correct = pred == taken
-        self.stats.add("bp_correct" if correct else "bp_mispredicts")
+        self.stats.counters["bp_correct" if correct else "bp_mispredicts"] += 1.0
         if provider is not None:
             entry = self.tables[provider][provider_idx]
             entry.ctr = _sat(entry.ctr + (1 if taken else -1), -4, 3)

@@ -104,11 +104,13 @@ class ResilientRunner(Runner):
                  sanitize: Optional[bool] = None, retries: int = 1,
                  fault_hook=None, accounting: bool = False,
                  sample_interval: Optional[int] = None,
-                 trace_cache_entries: Optional[int] = None) -> None:
+                 trace_cache_entries: Optional[int] = None,
+                 trace_store=None) -> None:
         super().__init__(n_instrs=n_instrs, warmup=warmup, mem_cfg=mem_cfg,
                          sanitize=sanitize, accounting=accounting,
                          sample_interval=sample_interval,
-                         trace_cache_entries=trace_cache_entries)
+                         trace_cache_entries=trace_cache_entries,
+                         trace_store=trace_store)
         self.retries = retries
         #: ``fault_hook(cfg, profile) -> Optional[FaultInjector]`` lets
         #: tests (and chaos runs) perturb specific (core, app) pairs.

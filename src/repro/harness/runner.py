@@ -71,7 +71,8 @@ class Runner:
                  sanitize: Optional[bool] = None,
                  accounting: bool = False,
                  sample_interval: Optional[int] = None,
-                 trace_cache_entries: Optional[int] = None) -> None:
+                 trace_cache_entries: Optional[int] = None,
+                 trace_store=None) -> None:
         self.n_instrs = n_instrs
         self.warmup = warmup
         self.mem_cfg = mem_cfg
@@ -90,6 +91,10 @@ class Runner:
         #: Traces evicted over this runner's lifetime (reported by the
         #: service ``/stats`` endpoint for long-lived worker processes).
         self.trace_evictions = 0
+        #: Optional cross-process trace cache (service.store.TraceStore):
+        #: consulted on an in-process LRU miss, published to on generate,
+        #: so pool workers share one generation of each (app, seed, n).
+        self.trace_store = trace_store
         self._traces: "OrderedDict[str, list]" = OrderedDict()
         self._results: Dict[tuple, RunResult] = {}
 
@@ -108,7 +113,12 @@ class Runner:
         if key in self._traces:
             self._traces.move_to_end(key)
             return self._traces[key]
-        trace = SyntheticWorkload(profile).generate(self.n_instrs)
+        trace = (self.trace_store.get(profile, self.n_instrs)
+                 if self.trace_store is not None else None)
+        if trace is None:
+            trace = SyntheticWorkload(profile).generate(self.n_instrs)
+            if self.trace_store is not None:
+                self.trace_store.put(profile, self.n_instrs, trace)
         self._traces[key] = trace
         if self.trace_cache_entries and len(self._traces) > self.trace_cache_entries:
             self._traces.popitem(last=False)

@@ -38,8 +38,9 @@ class DynInst:
         taken.
     """
 
-    __slots__ = ("seq", "pc", "op", "srcs", "dst", "mem_addr", "mem_size",
-                 "taken", "target", "latency")
+    __slots__ = ("seq", "_pc", "op", "srcs", "dst", "mem_addr", "mem_size",
+                 "taken", "target", "latency", "line", "op_name",
+                 "is_load", "is_store", "is_mem", "is_branch")
 
     def __init__(self,
                  pc: int,
@@ -61,22 +62,27 @@ class DynInst:
         self.taken = taken
         self.target = target
         self.latency = LATENCY[op]
+        # Derived fields interned at decode: the op-class label (tracer
+        # events) and the class-membership flags, which the schedulers
+        # test many times per instruction and which never change once the
+        # op is fixed.  Plain attributes beat properties on these paths.
+        self.op_name = op.name
+        self.is_load = op is OpClass.LOAD or op is OpClass.LOAD_FP
+        self.is_store = op is OpClass.STORE or op is OpClass.STORE_FP
+        self.is_mem = OpClass.LOAD <= op <= OpClass.STORE_FP
+        self.is_branch = op is OpClass.BRANCH or op is OpClass.JUMP
 
     @property
-    def is_load(self) -> bool:
-        return self.op is OpClass.LOAD or self.op is OpClass.LOAD_FP
+    def pc(self) -> int:
+        return self._pc
 
-    @property
-    def is_store(self) -> bool:
-        return self.op is OpClass.STORE or self.op is OpClass.STORE_FP
-
-    @property
-    def is_mem(self) -> bool:
-        return OpClass.LOAD <= self.op <= OpClass.STORE_FP
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op is OpClass.BRANCH or self.op is OpClass.JUMP
+    @pc.setter
+    def pc(self, value: int) -> None:
+        # ``line`` (the 64-byte I-cache line) is interned alongside the pc
+        # so the fetch hot path avoids the shift; the setter keeps it in
+        # sync for callers that re-assign PCs after construction.
+        self._pc = value
+        self.line = value >> 6
 
     def overlaps(self, other: "DynInst") -> bool:
         """True when the two memory accesses touch overlapping bytes."""

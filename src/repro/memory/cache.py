@@ -62,6 +62,16 @@ class Cache:
         #: (the prefetcher trains here; for the L2, every demand access is an
         #: L1 miss, so training here keeps following a prefetched stream).
         self.access_hook: Optional[Callable[[int, int], None]] = None
+        # Stat keys interned once: access() runs per memory reference, and
+        # rebuilding f"{name}_..." strings there shows up in profiles.
+        self._k_accesses = f"{name}_accesses"
+        self._k_hits = f"{name}_hits"
+        self._k_misses = f"{name}_misses"
+        self._k_mshr_merges = f"{name}_mshr_merges"
+        self._k_mshr_stalls = f"{name}_mshr_stalls"
+        self._k_evictions = f"{name}_evictions"
+        self._k_writebacks = f"{name}_writebacks"
+        self._k_prefetch_fills = f"{name}_prefetch_fills"
 
     # -- internals -----------------------------------------------------------
 
@@ -87,10 +97,10 @@ class Cache:
         if len(tags) >= self.cfg.assoc:
             victim = min(tags, key=tags.get)
             del tags[victim]
-            self.stats.add(f"{self.name}_evictions")
+            self.stats.add(self._k_evictions)
             if victim in self.dirty:
                 self.dirty.discard(victim)
-                self.stats.add(f"{self.name}_writebacks")
+                self.stats.add(self._k_writebacks)
                 sink = self.writeback_sink or self.next_level
                 sink(victim << self._line_shift, cycle)
         tags[line] = self._use_stamp
@@ -112,37 +122,43 @@ class Cache:
     def access(self, addr: int, cycle: int, is_write: bool = False,
                prefetch: bool = False) -> int:
         """Access ``addr``; returns cycles until the data is available."""
-        line = self._line(addr)
-        prefix = self.name
+        line = addr >> self._line_shift
+        counters = self.stats.counters
+        hit_latency = self.cfg.latency
         if not prefetch:
-            self.stats.add(f"{prefix}_accesses")
+            counters[self._k_accesses] += 1.0
             if self.access_hook is not None:
                 self.access_hook(addr, cycle)
         if is_write:
             self.dirty.add(line)
         # In-flight fill for the same line: merge (checked before the tag
         # lookup because fills are installed eagerly at miss time).
-        fill_at = self.mshrs.get(line)
+        mshrs = self.mshrs
+        fill_at = mshrs.get(line)
         if fill_at is not None and fill_at > cycle:
             if not prefetch:
-                self.stats.add(f"{prefix}_mshr_merges")
+                counters[self._k_mshr_merges] += 1.0
             self._install(line, cycle)
-            return (fill_at - cycle) + self.cfg.latency
-        if self._lookup(line):
+            return (fill_at - cycle) + hit_latency
+        # Inlined _lookup: the hit path is the hottest branch in the model.
+        tags = self.sets.get(line % self.n_sets)
+        if tags is not None and line in tags:
+            self._use_stamp += 1
+            tags[line] = self._use_stamp
             if not prefetch:
-                self.stats.add(f"{prefix}_hits")
-            return self.cfg.latency
+                counters[self._k_hits] += 1.0
+            return hit_latency
         if not prefetch:
-            self.stats.add(f"{prefix}_misses")
+            counters[self._k_misses] += 1.0
         # MSHR back-pressure: wait for the earliest outstanding fill.
-        outstanding = [t for t in self.mshrs.values() if t > cycle]
+        outstanding = [t for t in mshrs.values() if t > cycle]
         delay = 0
         if len(outstanding) >= self.cfg.mshrs:
             delay = min(outstanding) - cycle
-            self.stats.add(f"{prefix}_mshr_stalls")
-        below = self.next_level(addr, cycle + delay + self.cfg.latency)
-        latency = self.cfg.latency + delay + below
-        self.mshrs[line] = cycle + latency
+            counters[self._k_mshr_stalls] += 1.0
+        below = self.next_level(addr, cycle + delay + hit_latency)
+        latency = hit_latency + delay + below
+        mshrs[line] = cycle + latency
         self._reap_mshrs(cycle)
         self._install(line, cycle)
         return latency
@@ -154,4 +170,4 @@ class Cache:
             return
         self.mshrs[line] = fill_at
         self._install(line, fill_at)
-        self.stats.add(f"{self.name}_prefetch_fills")
+        self.stats.add(self._k_prefetch_fills)

@@ -41,20 +41,21 @@ class Dram:
         bank_idx = (line ^ (line >> 4) ^ (line >> 8)) % cfg.n_banks
         row = line // cfg.n_banks // (cfg.row_bytes >> 6)
         bank = self.banks[bank_idx]
+        counters = self.stats.counters
         start = max(cycle + cfg.frontend_overhead, bank.busy_until)
         if bank.open_row == row:
             service = cfg.t_cas
-            self.stats.add("dram_row_hits")
+            counters["dram_row_hits"] += 1.0
         elif bank.open_row is None:
             service = cfg.t_rcd + cfg.t_cas
-            self.stats.add("dram_row_empty")
+            counters["dram_row_empty"] += 1.0
         else:
             service = cfg.t_rp + cfg.t_rcd + cfg.t_cas
-            self.stats.add("dram_row_conflicts")
+            counters["dram_row_conflicts"] += 1.0
         bank.open_row = row
         finish = start + service + cfg.t_burst
         bank.busy_until = finish
-        self.stats.add("dram_accesses")
+        counters["dram_accesses"] += 1.0
         return finish - cycle
 
     def reset(self) -> None:

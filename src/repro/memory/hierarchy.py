@@ -80,10 +80,10 @@ class MemoryHierarchy:
 
     def load(self, addr: int, cycle: int) -> int:
         """Data load; returns load-to-use latency in cycles."""
-        self.stats.add("mem_loads")
+        self.stats.counters["mem_loads"] += 1.0
         return self.l1d.access(addr, cycle)
 
     def store(self, addr: int, cycle: int) -> int:
         """Retiring store writing the L1D (write-allocate)."""
-        self.stats.add("mem_stores")
+        self.stats.counters["mem_stores"] += 1.0
         return self.l1d.access(addr, cycle, is_write=True)

@@ -109,6 +109,27 @@ class CycleAccounting:
             key = f"{component}:{structure}"
             self.detail[key] = self.detail.get(key, 0) + 1
 
+    def on_idle_span(self, core, start: int, end: int) -> None:
+        """Vectorised attribution for a fast-forwarded quiescent span
+        (``start..end`` inclusive).
+
+        The engine only skips a span when no architectural state changes
+        across it: nothing commits, nothing issues, and every input to
+        :meth:`_classify` (commit head, squash shadow, fetch gating,
+        operand readiness) is frozen, because any cycle on which one of
+        them *would* change is an event candidate bounding the span.  The
+        classification of ``start`` therefore holds for every cycle in the
+        span, and ``_last_committed`` / ``_last_issued`` need no update —
+        the counters they mirror did not move.
+        """
+        span = end - start + 1
+        self.total_cycles += span
+        component, structure = self._classify(core, start, False)
+        self.components[component] += span
+        if structure:
+            key = f"{component}:{structure}"
+            self.detail[key] = self.detail.get(key, 0) + span
+
     def on_warmup(self) -> None:
         """Snapshot at the warm-up boundary so :meth:`report` can exclude
         warm-up cycles, mirroring the engine's counter snapshot."""

@@ -8,6 +8,12 @@ counters plus the occupancy of every bounded structure (via the same
 occupancy histograms and a stall-reason breakdown instead of a single
 end-of-run number.  Like the tracer, it only reads core state: sampled
 runs produce bit-identical timing.
+
+Attaching a sampler disables the run loop's quiescence fast-forward
+(``fast_forward``): the sampler needs its ``on_cycle`` hook at every
+interval boundary, including boundaries inside otherwise-dead spans, so
+the core steps every cycle for it.  Timing is unchanged either way —
+only wall-clock speed is.
 """
 
 from __future__ import annotations

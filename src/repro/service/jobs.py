@@ -92,6 +92,12 @@ _RUNNERS: Dict[Tuple, "object"] = {}
 #: Set by the pool's worker main so test hooks only fire inside workers.
 IN_WORKER = False
 
+#: Cross-process trace cache (service.store.TraceStore), set by the
+#: pool's worker main when the pool shares traces.  All of a process's
+#: runners share it, so the first worker to generate an (app, seed, n)
+#: trace publishes it for the whole fleet.
+TRACE_STORE = None
+
 
 def _runner_for(spec: JobSpec):
     from repro.harness.resilience import ResilientRunner
@@ -103,7 +109,8 @@ def _runner_for(spec: JobSpec):
         runner = ResilientRunner(
             n_instrs=spec.n_instrs, warmup=spec.warmup,
             mem_cfg=spec.memory_config(), sanitize=spec.sanitize,
-            retries=spec.retries, accounting=spec.accounting)
+            retries=spec.retries, accounting=spec.accounting,
+            trace_store=TRACE_STORE)
         _RUNNERS[key] = runner
     return runner
 
@@ -111,6 +118,13 @@ def _runner_for(spec: JobSpec):
 def trace_evictions() -> int:
     """Total trace-cache evictions across this process's runners."""
     return sum(r.trace_evictions for r in _RUNNERS.values())
+
+
+def trace_store_stats() -> Optional[dict]:
+    """This process's shared-trace-cache counters (None when unshared)."""
+    if TRACE_STORE is None:
+        return None
+    return TRACE_STORE.stats_snapshot()
 
 
 def result_record(res: RunResult, spec: JobSpec) -> dict:

@@ -40,28 +40,38 @@ from repro.service.store import ResultStore
 _POISON = None
 
 
-def _worker_main(job_q, result_q) -> None:
+def _worker_main(job_q, result_q, trace_dir=None) -> None:
     """Worker loop: execute one spec at a time until the poison pill.
 
     Messages back to the parent are ``(kind, job_id, pid, payload,
-    trace_evictions)`` tuples; ``trace_evictions`` is the cumulative
-    eviction count of this process's runners (for ``/stats``).
+    trace_evictions, trace_store)`` tuples; ``trace_evictions`` is the
+    cumulative eviction count of this process's runners and
+    ``trace_store`` its shared-trace-cache counters (both for
+    ``/stats``).  ``trace_dir`` roots the cross-process
+    :class:`~repro.service.store.TraceStore` so workers share one
+    generation of each synthetic trace.
     """
     jobs_mod.IN_WORKER = True
+    if trace_dir is not None:
+        from repro.service.store import TraceStore
+        jobs_mod.TRACE_STORE = TraceStore(trace_dir)
     pid = os.getpid()
     while True:
         item = job_q.get()
         if item is _POISON:
-            result_q.put(("bye", -1, pid, None, jobs_mod.trace_evictions()))
+            result_q.put(("bye", -1, pid, None, jobs_mod.trace_evictions(),
+                          jobs_mod.trace_store_stats()))
             return
         job_id, spec = item
         try:
             record = execute_job(spec)
             result_q.put(("done", job_id, pid, record,
-                          jobs_mod.trace_evictions()))
+                          jobs_mod.trace_evictions(),
+                          jobs_mod.trace_store_stats()))
         except BaseException as exc:  # keep the worker loop alive
             result_q.put(("error", job_id, pid, repr(exc),
-                          jobs_mod.trace_evictions()))
+                          jobs_mod.trace_evictions(),
+                          jobs_mod.trace_store_stats()))
 
 
 class SimulationPool:
@@ -77,6 +87,11 @@ class SimulationPool:
         self.store = store
         self.timeout = timeout
         self.max_worker_deaths = max_worker_deaths
+        #: Directory of the shared cross-worker trace cache; riding under
+        #: the result store's root keeps one content-addressed tree per
+        #: service.  No store -> no sharing (workers regenerate locally).
+        self._trace_dir = (str(store.root / "traces")
+                           if store is not None else None)
         self._ctx = multiprocessing.get_context(mp_context)
         self._result_q = None
         self._workers: Dict[int, multiprocessing.Process] = {}
@@ -96,6 +111,8 @@ class SimulationPool:
         self._records: Dict[int, dict] = {}
         self._keys: Dict[int, str] = {}
         self._evictions_by_pid: Dict[int, int] = {}
+        #: pid -> latest shared-trace-cache counters from that worker.
+        self._trace_stats_by_pid: Dict[int, dict] = {}
         self.stats: Dict[str, int] = {
             "submitted": 0, "cached": 0, "dispatched": 0, "completed": 0,
             "failed": 0, "timeouts": 0, "worker_deaths": 0,
@@ -115,7 +132,8 @@ class SimulationPool:
     def _spawn_worker(self) -> None:
         job_q = self._ctx.Queue()
         proc = self._ctx.Process(target=_worker_main,
-                                 args=(job_q, self._result_q), daemon=True)
+                                 args=(job_q, self._result_q,
+                                       self._trace_dir), daemon=True)
         proc.start()
         self._workers[proc.pid] = proc
         self._worker_qs[proc.pid] = job_q
@@ -221,6 +239,11 @@ class SimulationPool:
     def stats_snapshot(self) -> dict:
         snapshot = dict(self.stats)
         snapshot["trace_evictions"] = sum(self._evictions_by_pid.values())
+        trace_store = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        for per_worker in self._trace_stats_by_pid.values():
+            for name in trace_store:
+                trace_store[name] += per_worker.get(name, 0)
+        snapshot["trace_store"] = trace_store
         snapshot["workers"] = self.alive_workers()
         snapshot["degraded"] = self._degraded
         snapshot["pending"] = len(self._pending)
@@ -293,9 +316,11 @@ class SimulationPool:
             except (queue_mod.Empty, OSError, ValueError):
                 return
             block = False  # only block for the first message per tick
-            kind, job_id, pid, payload, evictions = msg
+            kind, job_id, pid, payload, evictions, trace_stats = msg
             if evictions is not None:
                 self._evictions_by_pid[pid] = evictions
+            if trace_stats is not None:
+                self._trace_stats_by_pid[pid] = trace_stats
             if kind == "done":
                 self._assigned.pop(pid, None)
                 self._resolve(job_id, payload)

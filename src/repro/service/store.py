@@ -23,8 +23,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.common.params import MemoryConfig
 from repro.obs.provenance import (
@@ -37,6 +38,9 @@ from repro.obs.provenance import (
 #: Version of the on-disk record envelope.  A reader finding any other
 #: value treats the entry as a miss (never served across schema changes).
 STORE_SCHEMA = 1
+
+#: Version of the on-disk pickled-trace envelope (see :class:`TraceStore`).
+TRACE_SCHEMA = 1
 
 
 def result_key(cfg, profile, n_instrs: int, warmup: int,
@@ -184,7 +188,9 @@ class ResultStore:
 
     def _entries(self) -> Iterator[Path]:
         for shard in self.root.iterdir():
-            if shard.name == "quarantine" or not shard.is_dir():
+            # "traces" is the sibling TraceStore (pickled traces, not
+            # result records) when the pool shares traces under this root.
+            if shard.name in ("quarantine", "traces") or not shard.is_dir():
                 continue
             yield from shard.glob("*.json")
 
@@ -209,3 +215,95 @@ class ResultStore:
 
     def stats_snapshot(self) -> dict:
         return dict(self.stats, entries=len(self))
+
+
+# -- shared synthetic traces ---------------------------------------------------
+
+
+def trace_key(profile, n_instrs: int) -> str:
+    """Content address of one generated synthetic trace.
+
+    Trace generation is deterministic in the profile fields and the
+    requested length, but it is *code*: a generator change must never be
+    served a stale trace, so the key also covers the revision and the
+    interpreter build (mirroring :func:`result_key`).
+    """
+    identity = {
+        "app": profile.name,
+        "trace_seed": profile.seed,
+        "profile_hash": config_hash(profile),
+        "n_instrs": n_instrs,
+        "git_rev": git_rev(),
+        "platform": interpreter_tag(),
+    }
+    return manifest_digest(identity)
+
+
+class TraceStore:
+    """Content-addressed on-disk cache of generated synthetic traces.
+
+    Pool workers each used to regenerate the same (app, seed, n) trace —
+    the single most expensive redundant step in a fleet, since every
+    worker simulating a suite app pays full generation before its first
+    cycle.  This store lets the first worker to generate a trace publish
+    it (pickled, atomically) for every other worker process.
+
+    The write idiom matches :class:`ResultStore` — unique temp file +
+    ``os.replace`` — so concurrent writers of one key are idempotent and
+    readers never see a torn pickle.  Unlike result records, traces are
+    bulk regenerable data: a corrupt or mismatched entry is simply
+    deleted and counted, not quarantined.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+        }
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, profile, n_instrs: int) -> Optional[List]:
+        """The cached trace for (profile, n_instrs), or None on a miss."""
+        key = trace_key(profile, n_instrs)
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        try:
+            envelope = pickle.loads(raw)
+        except Exception:
+            envelope = None
+        if (not isinstance(envelope, dict)
+                or envelope.get("schema") != TRACE_SCHEMA
+                or envelope.get("key") != key
+                or not isinstance(envelope.get("trace"), list)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats["corrupt"] += 1
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return envelope["trace"]
+
+    def put(self, profile, n_instrs: int, trace: List) -> Path:
+        """Atomically publish a freshly generated trace."""
+        key = trace_key(profile, n_instrs)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        envelope = {"schema": TRACE_SCHEMA, "key": key, "trace": trace}
+        with open(tmp, "wb") as fh:
+            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats["writes"] += 1
+        return path
+
+    def stats_snapshot(self) -> dict:
+        return dict(self.stats)

@@ -158,3 +158,97 @@ class TestConcurrentAccess:
         assert rec_a == rec_b
         assert not rec_a["failed"]
         assert len(store) == 1
+
+
+class TestTraceStore:
+    def test_roundtrip_bit_identical_timing(self, tmp_path):
+        """A trace served from the store must drive the exact same
+        simulation as the freshly generated one."""
+        from repro.cores import build_core
+        from repro.obs.provenance import counter_digest
+        from repro.service.store import TraceStore
+        from repro.workloads.generator import SyntheticWorkload
+
+        profile = SUITE["mcf"]
+        store = TraceStore(tmp_path / "traces")
+        assert store.get(profile, 1500) is None
+        trace = SyntheticWorkload(profile).generate(1500)
+        store.put(profile, 1500, trace)
+        served = store.get(profile, 1500)
+        assert served is not None and len(served) == len(trace)
+        cfg = make_casino_config()
+        fresh = build_core(cfg).run(trace, warmup=300)
+        cached = build_core(cfg).run(served, warmup=300)
+        assert counter_digest(fresh) == counter_digest(cached)
+        assert store.stats_snapshot() == {
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+
+    def test_key_sensitive_to_identity(self, tmp_path):
+        from repro.service.store import trace_key
+        profile = SUITE["hmmer"]
+        base = trace_key(profile, 1000)
+        assert trace_key(profile, 2000) != base
+        assert trace_key(SUITE["mcf"], 1000) != base
+        reseeded = dataclasses.replace(profile, seed=profile.seed + 1)
+        assert trace_key(reseeded, 1000) != base
+
+    def test_corrupt_entry_deleted_and_regenerated(self, tmp_path):
+        from repro.service.store import TraceStore, trace_key
+        from repro.workloads.generator import SyntheticWorkload
+
+        profile = SUITE["hmmer"]
+        store = TraceStore(tmp_path / "traces")
+        store.put(profile, 800, SyntheticWorkload(profile).generate(800))
+        path = store._path(trace_key(profile, 800))
+        path.write_bytes(b"not a pickle")
+        assert store.get(profile, 800) is None
+        assert store.stats["corrupt"] == 1
+        assert not path.exists()
+
+    def test_result_store_ignores_trace_shard(self, tmp_path):
+        """The pool roots the trace cache under the result store; result
+        enumeration and eviction must never touch it."""
+        from repro.service.store import TraceStore
+        from repro.workloads.generator import SyntheticWorkload
+
+        results = ResultStore(tmp_path / "store", max_entries=1)
+        traces = TraceStore(results.root / "traces")
+        traces.put(SUITE["hmmer"], 500,
+                   SyntheticWorkload(SUITE["hmmer"]).generate(500))
+        results.put("ab" * 16, {"ipc": 1.0})
+        results.put("cd" * 16, {"ipc": 2.0})  # evicts the older record
+        assert len(results) == 1
+        assert traces.get(SUITE["hmmer"], 500) is not None
+
+    def test_runner_shares_via_store(self, tmp_path):
+        """Two runners (processes, in the service) with empty LRU caches
+        share one generation through the on-disk store."""
+        from repro.harness.runner import Runner
+        from repro.service.store import TraceStore
+
+        profile = SUITE["mcf"]
+        first = Runner(n_instrs=1000, warmup=200,
+                       trace_store=TraceStore(tmp_path / "traces"))
+        second = Runner(n_instrs=1000, warmup=200,
+                        trace_store=TraceStore(tmp_path / "traces"))
+        generated = first.trace(profile)
+        served = second.trace(profile)
+        assert first.trace_store.stats_snapshot()["writes"] == 1
+        assert second.trace_store.stats_snapshot()["hits"] == 1
+        assert [i.seq for i in served] == [i.seq for i in generated]
+
+    def test_pool_reports_trace_store_stats(self, tmp_path):
+        from repro.service.pool import SimulationPool
+
+        store = ResultStore(tmp_path / "store")
+        with SimulationPool(n_workers=2, store=store) as pool:
+            records = pool.run_batch(
+                [_spec(core="ino", n=800, warmup=100),
+                 _spec(core="casino", n=800, warmup=100)])
+            snapshot = pool.stats_snapshot()
+        assert all(not r.get("failed") for r in records)
+        trace_stats = snapshot["trace_store"]
+        # Both jobs need the same hmmer trace: exactly one worker
+        # generates (writes) it; any other consumer hits.
+        assert trace_stats["writes"] >= 1
+        assert (store.root / "traces").is_dir()
