@@ -137,6 +137,72 @@ def bench_pool_sweep(n_instrs: int, warmup: int, repeats: int,
             "jobs_per_s": len(specs) / median}
 
 
+def bench_submit_throughput(repeats: int, jobs: int = 250) -> dict:
+    """Service submit throughput, journal-on vs journal-off.
+
+    Every spec's result is pre-seeded in the store, so each submission
+    exercises the full acceptance path (key, store hit, registry,
+    journal write-through) without simulating — isolating what the
+    write-ahead journal costs per accepted job.  The gate is
+    self-relative (same host, same seconds), so it needs no baseline.
+
+    The journal's per-submit cost (~15us against a ~300us acceptance
+    path) sits well below this host's leg-to-leg jitter, so the legs
+    are interleaved in alternating order, GC is paused while a leg is
+    timed, and the best-of-N time is compared — the min estimates the
+    noise-free floor that median-of-few cannot resolve.
+    """
+    import gc
+    import tempfile
+
+    from repro.service.jobs import JobSpec
+    from repro.service.journal import Journal
+    from repro.service.pool import SimulationPool
+    from repro.service.server import SimulationService
+    from repro.service.store import ResultStore
+
+    profile = get_profile("hmmer")
+    cfg = _CORES["ino"]()
+    specs = [JobSpec.make(cfg, profile, n_instrs=1_000 + i, warmup=100)
+             for i in range(jobs)]
+    on_times, off_times = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        for spec in specs:
+            store.put(spec.key(), {"schema": 1, "bench": True})
+        pool = SimulationPool(n_workers=1, store=store)
+        for spec in specs:  # untimed warm pass (page cache, allocator)
+            SimulationService(pool, store).submit(spec)
+        for rep in range(repeats):
+            legs = [("on", on_times), ("off", off_times)]
+            if rep & 1:  # alternate order so neither leg always runs cold
+                legs.reverse()
+            for leg, times in legs:
+                journal = None
+                if leg == "on":
+                    journal = Journal(Path(tmp) / f"journal-{rep}",
+                                      sync="batch")
+                service = SimulationService(pool, store, journal=journal)
+                gc.collect()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    for spec in specs:
+                        service.submit(spec)
+                    times.append(time.perf_counter() - start)
+                finally:
+                    gc.enable()
+                if journal is not None:
+                    journal.close()
+        pool.close()
+    best_on = min(on_times)
+    best_off = min(off_times)
+    return {"jobs": jobs, "repeats": repeats,
+            "journal_on_s": best_on, "journal_off_s": best_off,
+            "jobs_per_s": jobs / best_on,
+            "journal_overhead": best_on / best_off - 1.0}
+
+
 def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
     calibration = calibrate()
     results = {}
@@ -166,6 +232,12 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
           f"{pool_entry['jobs']} jobs x {pool_entry['workers']} workers "
           f"({pool_entry['jobs_per_s']:.1f} jobs/s, "
           f"normalized {pool_entry['normalized']:.2f})")
+    submit_entry = bench_submit_throughput(max(repeats * 3, 9))
+    results["service/submit"] = submit_entry
+    print(f"  service/submit: {submit_entry['jobs_per_s']:.0f} jobs/s "
+          f"journal-on ({submit_entry['journal_on_s']:.3f}s vs "
+          f"{submit_entry['journal_off_s']:.3f}s journal-off, "
+          f"overhead {submit_entry['journal_overhead']:+.1%})")
     return {
         "manifest": {
             "git_rev": git_rev(),
@@ -234,6 +306,24 @@ def check_fastforward(report: dict, min_speedup: float) -> int:
     return 0
 
 
+def check_journal_overhead(report: dict, max_overhead: float) -> int:
+    """Exit status: 1 when journaled submit throughput trails the
+    journal-off path by more than ``max_overhead`` (self-relative: both
+    legs ran on this host in this invocation)."""
+    entry = report["results"].get("service/submit")
+    if entry is None or "journal_overhead" not in entry:
+        return 0
+    overhead = entry["journal_overhead"]
+    verdict = "ok" if overhead <= max_overhead else "TOO SLOW"
+    print(f"  service/submit: journal overhead {overhead:+.1%} "
+          f"(max {max_overhead:.0%}, {verdict})")
+    if overhead > max_overhead:
+        print(f"\nFAIL: write-ahead journal costs {overhead:.1%} submit "
+              f"throughput (> {max_overhead:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="host-side simulator benchmark with regression gate")
@@ -257,6 +347,10 @@ def main(argv=None) -> int:
                              "is not at least this much faster than "
                              "skip-off on the DRAM-bound pairs (a "
                              "disengaged fast path measures ~1.0x)")
+    parser.add_argument("--max-journal-overhead", type=float, default=0.10,
+                        help="--check also fails when journaled submit "
+                             "throughput trails journal-off by more than "
+                             "this fraction")
     args = parser.parse_args(argv)
 
     n_instrs = args.n if args.n is not None else (3_000 if args.quick
@@ -277,7 +371,9 @@ def main(argv=None) -> int:
     if args.check:
         status = check_regressions(report, Path(args.baseline),
                                    args.tolerance)
-        return check_fastforward(report, args.min_ff_speedup) or status
+        status = check_fastforward(report, args.min_ff_speedup) or status
+        return check_journal_overhead(report,
+                                      args.max_journal_overhead) or status
     return 0
 
 

@@ -13,7 +13,10 @@ Commands
 ``sweep [out.txt]``          all figures, checkpointed + failure-tolerant
                              (``--workers N --store DIR`` parallelises
                              through the simulation service pool + store)
-``serve``                    run the simulation service (HTTP JSON API)
+``serve``                    run the simulation service (HTTP JSON API;
+                             journaled, drains gracefully on SIGTERM)
+``store scrub``              integrity-walk a result store, quarantine
+                             mismatches (``--repair`` recomputes them)
 ``submit``                   submit jobs to a running service
 """
 
@@ -403,12 +406,47 @@ def _cmd_serve(args) -> int:
     from repro.service.server import serve
     return serve(host=args.host, port=args.port, workers=args.workers,
                  store_dir=args.store, max_queue=args.queue_size,
-                 timeout=args.timeout)
+                 timeout=args.timeout,
+                 drain_timeout_s=args.drain_timeout,
+                 journal_sync=None if args.journal == "none"
+                 else args.journal)
+
+
+def _cmd_store(args) -> int:
+    from repro.service.store import ResultStore
+    store = ResultStore(args.store)
+    report = store.scrub()
+    results = report["results"]
+    print(f"results: {results['checked']} checked, {results['ok']} ok, "
+          f"{len(results['quarantined'])} quarantined")
+    if "traces" in report:
+        traces = report["traces"]
+        print(f"traces:  {traces['checked']} checked, {traces['ok']} ok, "
+              f"{traces['deleted']} corrupt deleted")
+    if args.repair and report["quarantine_backlog"]:
+        from repro.service.pool import SimulationPool
+        from repro.service.scrub import repair_quarantined
+        with SimulationPool(n_workers=args.workers, store=store) as pool:
+            repair = repair_quarantined(store, pool)
+        report["repair"] = repair
+        print(f"repair:  {repair['repaired']} recomputed, "
+              f"{repair['failed']} failed, "
+              f"{len(repair['unrepairable'])} unrepairable")
+        report["quarantine_backlog"] = len(store.quarantined_paths())
+    if args.json:
+        from repro.harness.export import write_json
+        write_json(report, args.json)
+        print(f"wrote {args.json}")
+    backlog = report["quarantine_backlog"]
+    if backlog:
+        print(f"{backlog} entr{'y' if backlog == 1 else 'ies'} remain "
+              "quarantined (inspect <store>/quarantine/)")
+    return 1 if backlog else 0
 
 
 def _cmd_submit(args) -> int:
     from repro.service.client import ServiceBusyError, ServiceClient, \
-        ServiceError
+        ServiceError, ServiceUnavailableError
 
     jobs = []
     if args.batch:
@@ -427,7 +465,13 @@ def _cmd_submit(args) -> int:
 
     client = ServiceClient(args.url)
     try:
-        accepted = client.submit(jobs, retries_on_busy=args.retries_on_busy)
+        accepted = client.submit(jobs, retries_on_busy=args.retries_on_busy,
+                                 deadline_s=args.deadline,
+                                 retry_connect=args.retries_on_busy > 0)
+    except ServiceUnavailableError as exc:
+        print(f"error: service unavailable after {exc.attempts} "
+              f"attempt(s): {exc.last_error}", file=sys.stderr)
+        return 4
     except ServiceBusyError as exc:
         print(f"error: service busy: {exc} "
               f"(retry after {exc.retry_after_s:.0f}s)", file=sys.stderr)
@@ -448,9 +492,9 @@ def _cmd_submit(args) -> int:
     failed = 0
     for entry in accepted:
         final = finished[entry["id"]]
-        if final["status"] == "failed":
+        if final["status"] != "done":
             failed += 1
-            rows.append([final["core"], final["app"], "failed",
+            rows.append([final["core"], final["app"], final["status"],
                          final.get("error", "?")])
             continue
         record = client.result(final["key"])["record"]
@@ -579,6 +623,31 @@ def main(argv=None) -> int:
                          help="bounded job queue (full -> HTTP 429)")
     serve_p.add_argument("--timeout", type=float, default=None,
                          help="per-job timeout in seconds")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds SIGTERM/SIGINT waits for leased "
+                              "jobs before exiting (queued work stays "
+                              "journaled)")
+    serve_p.add_argument("--journal",
+                         choices=["always", "batch", "off", "none"],
+                         default="batch",
+                         help="write-ahead journal fsync policy; 'none' "
+                              "disables journaling (volatile job state)")
+
+    store_p = sub.add_parser(
+        "store", help="maintain a content-addressed result store")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    scrub_p = store_sub.add_parser(
+        "scrub", help="integrity-walk every store entry; quarantine "
+                      "mismatches")
+    scrub_p.add_argument("--store", metavar="DIR", default=".repro-store",
+                         help="result store directory")
+    scrub_p.add_argument("--repair", action="store_true",
+                         help="re-run reconstructable quarantined entries "
+                              "through a local pool")
+    scrub_p.add_argument("--workers", type=int, default=None,
+                         help="pool size for --repair (default: CPU count)")
+    scrub_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write the scrub report as JSON")
 
     submit_p = sub.add_parser(
         "submit", help="submit simulation jobs to a running service")
@@ -593,7 +662,12 @@ def main(argv=None) -> int:
     submit_p.add_argument("--priority", type=int, default=100,
                           help="lower numbers are served first")
     submit_p.add_argument("--retries-on-busy", type=int, default=0,
-                          help="resubmission attempts on HTTP 429")
+                          help="resubmission attempts on 429/503 or "
+                               "connection failure (capped exponential "
+                               "backoff + jitter)")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          help="overall submission deadline in seconds "
+                               "across all retries")
     submit_p.add_argument("--wait", action="store_true",
                           help="poll until every job finishes, then print "
                                "a result table")
@@ -607,7 +681,7 @@ def main(argv=None) -> int:
             "figure": _cmd_figure,
             "characterize": _cmd_characterize, "trace": _cmd_trace,
             "sweep": _cmd_sweep, "serve": _cmd_serve,
-            "submit": _cmd_submit}[args.command](args)
+            "store": _cmd_store, "submit": _cmd_submit}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -145,7 +145,28 @@ def run_cli(output: str = "experiment_results.txt",
         from repro.service.pool import SimulationPool
         from repro.service.store import ResultStore
         result_store = ResultStore(store) if store else None
-        pool = SimulationPool(n_workers=workers, store=result_store)
+        journal = None
+        if result_store is not None:
+            # Journal every pool dispatch so a killed sweep can account
+            # for dispatched-but-unfinished work on the next start (the
+            # store already dedups whatever did complete).
+            from pathlib import Path
+            from repro.service.journal import (
+                TERMINAL_STATES,
+                Journal,
+                fold_jobs,
+            )
+            journal = Journal(Path(store) / "sweep-journal")
+            orphans = [state for state in
+                       fold_jobs(journal.records()).values()
+                       if state["status"] not in TERMINAL_STATES]
+            if orphans:
+                print(f"previous sweep left {len(orphans)} "
+                      "dispatched-but-unfinished job(s); recomputing "
+                      "any whose results missed the store")
+            journal.compact([])
+        pool = SimulationPool(n_workers=workers, store=result_store,
+                              journal=journal)
         runner = make_pooled_runner(pool, retries=retries, sanitize=sanitize)
         print(f"pooled sweep: {pool.n_workers} worker(s)"
               + (f", store {store}" if store else ""))
@@ -153,6 +174,8 @@ def run_cli(output: str = "experiment_results.txt",
             run_sweep(runner, default_profiles(), ckpt, out_path=output)
         finally:
             pool.close()
+            if journal is not None:
+                journal.close()
             if result_store is not None:
                 stats = result_store.stats_snapshot()
                 print(f"store: {stats['hits']} hit(s), "

@@ -1,0 +1,246 @@
+"""Deterministic chaos harness for the crash-safe job fabric.
+
+Drives a real :class:`~repro.service.server.SimulationService` (journal
++ pool + store on one directory) through seeded fault injection —
+worker SIGKILL, whole-fabric crash + restart, journal truncation and
+bit-flips, store-entry corruption, stalled heartbeats — and gives tests
+the levers to assert the fabric invariant:
+
+    every submitted job eventually reaches exactly one of
+    done / failed / dead_letter, and every ``done`` result is
+    counter-digest identical to a serial run.
+
+The harness works below the HTTP layer on purpose: the invariant lives
+in the service/journal/pool stack, chaos runs stay single-process and
+deterministic, and the HTTP surface has its own test module.
+
+All randomness flows from one seeded :class:`random.Random`, so every
+"random" victim (worker, record, byte, bit) is reproducible from the
+scenario's seed.
+
+``crash()`` is the SIGKILL model: the dispatcher is stopped, workers
+are killed, and the journal object is *abandoned* — never flushed,
+fsync'd or closed — so recovery sees exactly what a dead process would
+have left in the page cache (the journal flushes each append to the
+kernel, hence a process kill loses nothing already acknowledged).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.journal import Journal
+from repro.service.jobs import JobSpec, execute_job
+from repro.service.pool import SimulationPool
+from repro.service.server import SimulationService
+from repro.service.store import ResultStore
+
+#: Terminal statuses a job may legally end in (exactly one of).
+TERMINAL = ("done", "failed", "dead_letter")
+
+
+class ChaosFabric:
+    """A restartable service fabric rooted at one directory.
+
+    ``start()`` builds store + journal + pool + service from whatever
+    the directory already holds (so a restart recovers); ``crash()``
+    kills it without any graceful teardown; ``stop()`` drains cleanly.
+    """
+
+    def __init__(self, root, workers: int = 2, seed: int = 0,
+                 lease_s: float = 30.0,
+                 heartbeat_s: Optional[float] = None,
+                 max_redeliveries: int = 2,
+                 max_queue: int = 64,
+                 timeout: Optional[float] = None,
+                 journal_sync: str = "always") -> None:
+        self.root = Path(root)
+        self.workers = workers
+        self.rng = random.Random(seed)
+        self.lease_s = lease_s
+        self.heartbeat_s = heartbeat_s
+        self.max_redeliveries = max_redeliveries
+        self.max_queue = max_queue
+        self.timeout = timeout
+        self.journal_sync = journal_sync
+        self.generation = 0
+        self.store: Optional[ResultStore] = None
+        self.service: Optional[SimulationService] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> SimulationService:
+        assert self.service is None, "fabric already running"
+        self.generation += 1
+        self.store = ResultStore(self.root / "store")
+        journal = Journal(self.root / "store" / "journal",
+                          sync=self.journal_sync)
+        pool = SimulationPool(n_workers=self.workers, store=self.store,
+                              timeout=self.timeout,
+                              lease_s=self.lease_s,
+                              heartbeat_s=self.heartbeat_s,
+                              max_redeliveries=self.max_redeliveries)
+        self.service = SimulationService(pool, self.store,
+                                         max_queue=self.max_queue,
+                                         journal=journal)
+        self.service.start()
+        return self.service
+
+    def crash(self) -> None:
+        """Die like a SIGKILL: no drain, no journal close, workers shot."""
+        service, self.service = self.service, None
+        if service is None:
+            return
+        service._stop.set()
+        service._dispatcher.join(timeout=5.0)
+        service.pool.kill()
+        # The Journal object is abandoned un-closed on purpose (crash
+        # model); drop the handle so the next generation reopens fresh.
+        service.journal._fh = None
+
+    def stop(self) -> None:
+        """Graceful teardown (drain + journal close)."""
+        service, self.service = self.service, None
+        if service is not None:
+            service.drain(timeout_s=30.0)
+            service.stop()
+
+    def restart(self) -> SimulationService:
+        self.crash()
+        return self.start()
+
+    # -- job plumbing ----------------------------------------------------------
+
+    def submit(self, specs: Sequence[JobSpec]) -> List[str]:
+        return [self.service.submit(spec)["id"] for spec in specs]
+
+    def ensure_submitted(self, specs: Sequence[JobSpec]) -> List[str]:
+        """Client-retry model: (re)submit every spec the service does
+        not currently track.  After a crash, submissions that were never
+        durably acknowledged are exactly the ones a real client would
+        retry on its connection error."""
+        known = {entry.get("key") for entry in self.service.jobs_snapshot()}
+        return [self.service.submit(spec)["id"] for spec in specs
+                if spec.key() not in known]
+
+    def wait_all(self, timeout_s: float = 300.0) -> Dict[str, dict]:
+        """Wait until every tracked job is terminal; {id: public entry}."""
+        import time
+        deadline = time.monotonic() + timeout_s
+        while True:
+            entries = {e["id"]: e for e in self.service.jobs_snapshot()}
+            if all(e["status"] in TERMINAL for e in entries.values()):
+                return entries
+            if time.monotonic() > deadline:
+                stuck = [e["id"] for e in entries.values()
+                         if e["status"] not in TERMINAL]
+                raise TimeoutError(f"jobs stuck after {timeout_s}s: {stuck}")
+            time.sleep(0.05)
+
+    # -- fault injectors (all seeded through self.rng) -------------------------
+
+    def kill_random_worker(self) -> int:
+        """SIGKILL one live worker (preferring one with a job in flight,
+        so the kill actually costs a delivery); returns its pid."""
+        pool = self.service.pool
+        busy = sorted(pid for pid in pool._assigned
+                      if pid in pool._workers and pool._workers[pid].is_alive())
+        victims = busy or sorted(pid for pid, proc in pool._workers.items()
+                                 if proc.is_alive())
+        assert victims, "no live worker to kill"
+        pid = self.rng.choice(victims)
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def journal_segments(self) -> List[Path]:
+        root = self.root / "store" / "journal"
+        return sorted(root.glob("segment-*.jrnl"))
+
+    def truncate_journal_tail(self, n_bytes: int = 25) -> int:
+        """Torn-write model: chop ``n_bytes`` off the newest segment."""
+        segments = self.journal_segments()
+        assert segments, "no journal segment to truncate"
+        path = segments[-1]
+        size = path.stat().st_size
+        keep = max(size - n_bytes, 0)
+        with open(path, "rb+") as fh:
+            fh.truncate(keep)
+        return size - keep
+
+    def flip_journal_bit(self) -> int:
+        """Bit-rot model: flip one random bit in a random journal byte
+        (never the final line, which is the torn-tail injector's job).
+        Returns the absolute byte offset flipped."""
+        segments = self.journal_segments()
+        assert segments, "no journal segment to corrupt"
+        path = self.rng.choice(segments)
+        data = bytearray(path.read_bytes())
+        assert data, "journal segment empty"
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        offset = self.rng.randrange(max(last_line_start, 1))
+        data[offset] ^= 1 << self.rng.randrange(8)
+        path.write_bytes(bytes(data))
+        return offset
+
+    def corrupt_store_entry(self, key: Optional[str] = None) -> str:
+        """Flip one bit in one stored result record; returns its key."""
+        store = self.store
+        if key is None:
+            keys = store.keys()
+            assert keys, "no store entry to corrupt"
+            key = self.rng.choice(keys)
+        path = store._path(key)
+        data = bytearray(path.read_bytes())
+        offset = self.rng.randrange(len(data))
+        data[offset] ^= 1 << self.rng.randrange(8)
+        path.write_bytes(bytes(data))
+        return key
+
+
+# -- oracle --------------------------------------------------------------------
+
+
+def serial_digests(specs: Sequence[JobSpec]) -> Dict[str, str]:
+    """Ground truth: {result key: counter digest} from serial execution."""
+    digests: Dict[str, str] = {}
+    for spec in specs:
+        record = execute_job(spec)
+        assert not record.get("failed"), record.get("error")
+        digests[spec.key()] = record["manifest"]["counter_digest"]
+    return digests
+
+
+def fabric_digests(store: ResultStore,
+                   specs: Sequence[JobSpec]) -> Dict[str, str]:
+    """{result key: counter digest} as the fabric's store recorded them."""
+    digests: Dict[str, str] = {}
+    for spec in specs:
+        record = store.get(spec.key())
+        if record is not None:
+            digests[spec.key()] = record["manifest"]["counter_digest"]
+    return digests
+
+
+def assert_invariant(entries: Dict[str, dict],
+                     store: ResultStore,
+                     specs: Sequence[JobSpec],
+                     expected: Dict[str, str]) -> None:
+    """The fabric invariant, as one assertion helper.
+
+    * every tracked job is in exactly one terminal state;
+    * every submitted spec is tracked by at least one job;
+    * every ``done`` result in the store is counter-digest identical to
+      the serial oracle.
+    """
+    for entry in entries.values():
+        assert entry["status"] in TERMINAL, \
+            f"{entry['id']} not terminal: {entry['status']}"
+    tracked = {e.get("key") for e in entries.values()}
+    for spec in specs:
+        assert spec.key() in tracked, f"lost job: {spec.label()}"
+    for key, digest in fabric_digests(store, specs).items():
+        assert digest == expected[key], f"digest mismatch for {key}"

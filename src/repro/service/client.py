@@ -1,14 +1,23 @@
 """Minimal stdlib client for the simulation service.
 
 Wraps the JSON API behind typed helpers and understands the service's
-backpressure contract: a 429 raises :class:`ServiceBusyError` carrying
-the server's ``Retry-After`` hint, and :meth:`ServiceClient.submit` can
-optionally honour it with bounded retries.
+availability contract:
+
+* **429** (bounded queue full) raises :class:`ServiceBusyError` and
+  **503** (draining/restarting) raises :class:`ServiceDrainingError`,
+  both carrying the server's ``Retry-After`` hint.
+* :meth:`ServiceClient.submit` retries those — and, optionally,
+  connection failures while a server restarts — with capped exponential
+  backoff plus **full jitter** (each sleep is uniform in [0, cap'd
+  window], never below the server's ``Retry-After`` hint), under an
+  overall ``deadline_s``.  Exhausting retries or the deadline raises a
+  typed :class:`ServiceUnavailableError` wrapping the last failure.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -32,10 +41,40 @@ class ServiceBusyError(ServiceError):
         return float(self.payload.get("retry_after_s", 1))
 
 
+class ServiceDrainingError(ServiceError):
+    """503 — the service is draining; retry against the next instance."""
+
+    @property
+    def retry_after_s(self) -> float:
+        return float(self.payload.get("retry_after_s", 1))
+
+
+class ServiceUnavailableError(ServiceError):
+    """Retries/deadline exhausted without the service accepting work.
+
+    ``last_error`` is the failure from the final attempt (a
+    :class:`ServiceError` subclass or a connection error).
+    """
+
+    def __init__(self, message: str, last_error: Exception,
+                 attempts: int) -> None:
+        Exception.__init__(self, message)
+        self.status = getattr(last_error, "status", None)
+        self.payload = getattr(last_error, "payload", {})
+        self.last_error = last_error
+        self.attempts = attempts
+
+
 class ServiceClient:
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 backoff_base_s: float = 0.25,
+                 backoff_cap_s: float = 10.0,
+                 rng: Optional[random.Random] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng if rng is not None else random.Random()
 
     # -- transport -------------------------------------------------------------
 
@@ -55,7 +94,21 @@ class ServiceClient:
                 body = {"error": str(exc)}
             if exc.code == 429:
                 raise ServiceBusyError(exc.code, body) from None
+            if exc.code == 503:
+                raise ServiceDrainingError(exc.code, body) from None
             raise ServiceError(exc.code, body) from None
+
+    def _backoff_sleep(self, attempt: int, hint_s: float,
+                       deadline: Optional[float]) -> None:
+        """Capped exponential backoff with full jitter, floored at the
+        server's Retry-After hint and ceilinged by the deadline."""
+        window = min(self.backoff_cap_s,
+                     self.backoff_base_s * (2 ** max(attempt - 1, 0)))
+        sleep_s = max(hint_s, self._rng.uniform(0.0, window))
+        if deadline is not None:
+            sleep_s = min(sleep_s, max(deadline - time.monotonic(), 0.0))
+        if sleep_s > 0:
+            time.sleep(sleep_s)
 
     # -- API -------------------------------------------------------------------
 
@@ -68,31 +121,64 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request(f"/jobs/{job_id}")
 
+    def jobs(self, status: Optional[str] = None) -> List[dict]:
+        path = "/jobs" + (f"?status={status}" if status else "")
+        return self._request(path)["jobs"]
+
     def result(self, key: str) -> dict:
         return self._request(f"/results/{key}")
 
+    def scrub(self, repair: bool = False) -> dict:
+        return self._request("/scrub" + ("?repair=1" if repair else ""),
+                             payload={})
+
     def submit(self, jobs: Union[dict, Sequence[dict]],
-               retries_on_busy: int = 0) -> List[dict]:
+               retries_on_busy: int = 0,
+               deadline_s: Optional[float] = None,
+               retry_connect: bool = False) -> List[dict]:
         """Submit one job object or a batch; returns the accepted entries.
 
-        ``retries_on_busy`` re-submits (whole batch) after the server's
-        Retry-After hint when the queue is full.
+        Retryable failures — 429 (queue full), 503 (draining), and
+        connection errors when ``retry_connect`` (a server restarting in
+        place) — are re-submitted (whole batch) up to ``retries_on_busy``
+        times with capped exponential backoff + full jitter, never
+        sooner than the server's ``Retry-After`` hint, and never past
+        ``deadline_s`` overall.  With retries enabled, exhaustion raises
+        :class:`ServiceUnavailableError` carrying the last failure; with
+        ``retries_on_busy=0`` the original failure propagates untouched.
         """
         body = jobs if isinstance(jobs, dict) else {"jobs": list(jobs)}
-        attempts = 0
+        deadline = (time.monotonic() + deadline_s
+                    if deadline_s is not None else None)
+        attempt = 0
         while True:
+            attempt += 1
             try:
                 response = self._request("/jobs", payload=body)
                 return response["jobs"]
-            except ServiceBusyError as exc:
-                attempts += 1
-                if attempts > retries_on_busy:
+            except (ServiceBusyError, ServiceDrainingError) as exc:
+                failure = exc
+                hint_s = exc.retry_after_s
+            except urllib.error.URLError as exc:
+                if not retry_connect:
                     raise
-                time.sleep(exc.retry_after_s)
+                failure = exc
+                hint_s = 0.0
+            if attempt > retries_on_busy:
+                if retries_on_busy == 0:
+                    raise failure
+                raise ServiceUnavailableError(
+                    f"service unavailable after {attempt} attempt(s): "
+                    f"{failure}", failure, attempt) from failure
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceUnavailableError(
+                    f"deadline {deadline_s}s exhausted after {attempt} "
+                    f"attempt(s): {failure}", failure, attempt) from failure
+            self._backoff_sleep(attempt, hint_s, deadline)
 
     def wait(self, job_ids: Sequence[str], poll_s: float = 0.25,
              timeout_s: float = 600.0) -> Dict[str, dict]:
-        """Poll until every job id is done/failed; returns {id: job}."""
+        """Poll until every job id is terminal; returns {id: job}."""
         deadline = time.monotonic() + timeout_s
         done: Dict[str, dict] = {}
         remaining = list(job_ids)
@@ -104,7 +190,7 @@ class ServiceClient:
             still = []
             for job_id in remaining:
                 entry = self.job(job_id)
-                if entry["status"] in ("done", "failed"):
+                if entry["status"] in ("done", "failed", "dead_letter"):
                     done[job_id] = entry
                 else:
                     still.append(job_id)

@@ -38,10 +38,16 @@ class JobSpec:
     sanitize: Optional[bool] = None
     retries: int = 1
     accounting: bool = False
-    #: Test hook: makes the *worker process* exit hard before simulating,
-    #: exercising the pool's worker-death path.  Ignored when executing
-    #: serially in the parent.
-    test_kill: bool = False
+    #: Test hook: makes the *worker process* exit hard before simulating
+    #: while the delivery attempt is <= ``test_kill`` (so ``True``/1
+    #: kills only the first delivery and the job completes on
+    #: redelivery; a large value is a poison job that dead-letters).
+    #: Ignored when executing serially in the parent.
+    test_kill: int = 0
+    #: Test hook: on the *first* delivery only, stall for this many
+    #: seconds before heartbeats start, so the parent's lease provably
+    #: expires and the reclaim path redelivers the job.
+    test_stall_s: float = 0.0
 
     @classmethod
     def make(cls, cfg: CoreConfig, profile: WorkloadProfile,
@@ -191,13 +197,16 @@ def failure_record(spec: JobSpec, error: str, status: str = "error") -> dict:
             "ipc": 0.0, "counters": {}, "energy": {}}
 
 
-def execute_job(spec: JobSpec) -> dict:
+def execute_job(spec: JobSpec, attempt: int = 1) -> dict:
     """Run one spec (in this process) and return its result record.
 
     ``SimulationError`` never escapes: the underlying ResilientRunner
     retries with reseeded traces and degrades to a ``failed`` record.
+    ``attempt`` is the pool's delivery count (1 on first delivery); the
+    fault-injection hooks key off it so a transiently-faulty job
+    succeeds once redelivered while a poison job keeps failing.
     """
-    if spec.test_kill and IN_WORKER:
+    if IN_WORKER and attempt <= int(spec.test_kill or 0):
         import os
         os._exit(43)
     runner = _runner_for(spec)

@@ -11,14 +11,30 @@ flushed — therefore always has an identifiable casualty job.
 * **Store integration** — a submitted job whose key is already in the
   result store completes instantly without touching a worker; freshly
   computed records are written back atomically.
+* **Leases + heartbeats** — every assignment is a time-bounded lease
+  (``lease_s``), renewed by heartbeat messages a worker thread sends
+  every ``heartbeat_s`` while executing.  An expired lease escalates:
+  first a *poll* (one grace interval for a late heartbeat — a hung
+  worker is not the same thing as a dead worker), then the worker is
+  terminated and a replacement spawns.
+* **Bounded redelivery + dead-letter** — a job whose worker dies or
+  whose lease is reclaimed goes back to the front of the backlog and is
+  redelivered to a fresh worker, at most ``max_redeliveries`` times;
+  beyond that it is a poison job and resolves to a ``dead_letter``
+  record instead of taking more of the fleet down with it.
 * **Per-job timeouts** — a job running past ``timeout`` seconds gets its
-  worker terminated and is reported failed; a replacement worker spawns.
-* **Worker-death containment** — a job whose worker dies is re-executed
-  *serially in the parent* (a worker-killer must not take down the rest
-  of the fleet); once ``max_worker_deaths`` is reached the pool stops
-  respawning and degrades to serial execution for everything remaining.
+  worker terminated and is reported failed (``status: "timeout"``); too
+  slow is a property of the job, not the worker, so it is not
+  redelivered.
+* **Degradation** — once ``max_worker_deaths`` total deaths accumulate
+  the pool stops respawning and runs everything remaining serially in
+  the parent.
 * **Cancellation** — :meth:`cancel_pending` flushes every job still in
   the parent's backlog (i.e. not yet handed to a worker).
+* **Journal hook** — given a :class:`~repro.service.journal.Journal`,
+  the pool writes ``submitted`` / ``leased`` / ``done`` / ``failed`` /
+  ``dead_letter`` records through it, so a crashed batch driver (e.g. a
+  pooled sweep) can account for dispatched-but-unfinished work.
 
 All coordination happens in :meth:`tick`, which the blocking helpers
 (:meth:`wait`, :meth:`run_batch`) call in a loop and which an HTTP server
@@ -30,6 +46,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,7 +57,18 @@ from repro.service.store import ResultStore
 _POISON = None
 
 
-def _worker_main(job_q, result_q, trace_dir=None) -> None:
+def _heartbeat_loop(result_q, job_id: int, pid: int, interval: float,
+                    stop: "threading.Event") -> None:
+    """Worker-side: renew the parent's lease while a job executes."""
+    while not stop.wait(interval):
+        try:
+            result_q.put(("hb", job_id, pid, None, None, None))
+        except (OSError, ValueError):
+            return
+
+
+def _worker_main(job_q, result_q, trace_dir=None,
+                 heartbeat_s: Optional[float] = None) -> None:
     """Worker loop: execute one spec at a time until the poison pill.
 
     Messages back to the parent are ``(kind, job_id, pid, payload,
@@ -49,7 +77,8 @@ def _worker_main(job_q, result_q, trace_dir=None) -> None:
     ``trace_store`` its shared-trace-cache counters (both for
     ``/stats``).  ``trace_dir`` roots the cross-process
     :class:`~repro.service.store.TraceStore` so workers share one
-    generation of each synthetic trace.
+    generation of each synthetic trace.  While a job executes, a
+    heartbeat thread renews the parent's lease every ``heartbeat_s``.
     """
     jobs_mod.IN_WORKER = True
     if trace_dir is not None:
@@ -62,13 +91,26 @@ def _worker_main(job_q, result_q, trace_dir=None) -> None:
             result_q.put(("bye", -1, pid, None, jobs_mod.trace_evictions(),
                           jobs_mod.trace_store_stats()))
             return
-        job_id, spec = item
+        job_id, spec, attempt = item
+        # Chaos/test hook: a first-delivery stall with heartbeats
+        # suppressed, so the parent's lease provably expires and the
+        # reclaim path redelivers the job.
+        stall = float(getattr(spec, "test_stall_s", 0.0) or 0.0)
+        if stall and attempt <= 1:
+            time.sleep(stall)
+        stop_hb = threading.Event()
+        if heartbeat_s:
+            threading.Thread(target=_heartbeat_loop,
+                             args=(result_q, job_id, pid, heartbeat_s,
+                                   stop_hb), daemon=True).start()
         try:
-            record = execute_job(spec)
+            record = execute_job(spec, attempt=attempt)
+            stop_hb.set()
             result_q.put(("done", job_id, pid, record,
                           jobs_mod.trace_evictions(),
                           jobs_mod.trace_store_stats()))
         except BaseException as exc:  # keep the worker loop alive
+            stop_hb.set()
             result_q.put(("error", job_id, pid, repr(exc),
                           jobs_mod.trace_evictions(),
                           jobs_mod.trace_store_stats()))
@@ -80,13 +122,22 @@ class SimulationPool:
     def __init__(self, n_workers: Optional[int] = None,
                  store: Optional[ResultStore] = None,
                  timeout: Optional[float] = None,
-                 max_worker_deaths: int = 3,
+                 max_worker_deaths: int = 6,
+                 max_redeliveries: int = 2,
+                 lease_s: float = 30.0,
+                 heartbeat_s: Optional[float] = None,
+                 journal=None,
                  mp_context: Optional[str] = None) -> None:
         self.n_workers = max(1, n_workers if n_workers is not None
                              else (os.cpu_count() or 1))
         self.store = store
         self.timeout = timeout
         self.max_worker_deaths = max_worker_deaths
+        self.max_redeliveries = max(0, max_redeliveries)
+        self.lease_s = lease_s
+        self.heartbeat_s = (heartbeat_s if heartbeat_s is not None
+                            else max(lease_s / 4.0, 0.05))
+        self.journal = journal
         #: Directory of the shared cross-worker trace cache; riding under
         #: the result store's root keeps one content-addressed tree per
         #: service.  No store -> no sharing (workers regenerate locally).
@@ -99,6 +150,10 @@ class SimulationPool:
         self._worker_qs: Dict[int, object] = {}
         #: pid -> (job_id, assignment time) while a job is in flight.
         self._assigned: Dict[int, Tuple[int, float]] = {}
+        #: pid -> monotonic deadline by which a heartbeat must arrive.
+        self._lease_deadline: Dict[int, float] = {}
+        #: pid -> end of the post-expiry grace poll (hung != dead).
+        self._suspect: Dict[int, float] = {}
         self._started = False
         self._closed = False
         self._degraded = False
@@ -108,6 +163,8 @@ class SimulationPool:
         self._backlog: List[int] = []
         #: job_id -> spec for every job not yet resolved to a record.
         self._pending: Dict[int, JobSpec] = {}
+        #: job_id -> deliveries so far (redelivery budget accounting).
+        self._attempts: Dict[int, int] = {}
         self._records: Dict[int, dict] = {}
         self._keys: Dict[int, str] = {}
         self._evictions_by_pid: Dict[int, int] = {}
@@ -117,6 +174,8 @@ class SimulationPool:
             "submitted": 0, "cached": 0, "dispatched": 0, "completed": 0,
             "failed": 0, "timeouts": 0, "worker_deaths": 0,
             "serial_fallbacks": 0, "cancelled": 0,
+            "heartbeats": 0, "lease_expired": 0, "redeliveries": 0,
+            "dead_lettered": 0,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -133,7 +192,8 @@ class SimulationPool:
         job_q = self._ctx.Queue()
         proc = self._ctx.Process(target=_worker_main,
                                  args=(job_q, self._result_q,
-                                       self._trace_dir), daemon=True)
+                                       self._trace_dir, self.heartbeat_s),
+                                 daemon=True)
         proc.start()
         self._workers[proc.pid] = proc
         self._worker_qs[proc.pid] = job_q
@@ -164,6 +224,37 @@ class SimulationPool:
         self._workers.clear()
         self._worker_qs.clear()
         self._assigned.clear()
+        self._lease_deadline.clear()
+        self._suspect.clear()
+
+    def kill(self) -> None:
+        """Chaos hook: SIGKILL-equivalent teardown.
+
+        Terminates every worker immediately — no poison pills, no
+        message draining, no journaling — simulating the whole process
+        tree dying.  Only the journal and store contents survive, which
+        is exactly what a crash-recovery test needs to exercise.
+        """
+        self._closed = True
+        for proc in self._workers.values():
+            try:
+                proc.kill()
+            except (AttributeError, OSError):
+                proc.terminate()
+        for proc in self._workers.values():
+            proc.join(timeout=2.0)
+        if self._started:
+            for q in [self._result_q] + list(self._worker_qs.values()):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except (OSError, ValueError):
+                    pass
+        self._workers.clear()
+        self._worker_qs.clear()
+        self._assigned.clear()
+        self._lease_deadline.clear()
+        self._suspect.clear()
 
     def __enter__(self) -> "SimulationPool":
         self.start()
@@ -179,6 +270,17 @@ class SimulationPool:
 
     def alive_workers(self) -> int:
         return sum(1 for p in self._workers.values() if p.is_alive())
+
+    # -- journal hook ----------------------------------------------------------
+
+    def _journal(self, type_: str, job_id: int, **fields) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(type_, job=f"pool-{job_id}",
+                                key=self._keys.get(job_id), **fields)
+        except OSError:  # journalling must never take down the batch
+            pass
 
     # -- submission ------------------------------------------------------------
 
@@ -199,8 +301,12 @@ class SimulationPool:
             if record is not None:
                 self._records[job_id] = record
                 self.stats["cached"] += 1
+                self._journal("submitted", job_id, label=spec.label(),
+                              cached=True)
                 return job_id
+        self._journal("submitted", job_id, label=spec.label())
         self._pending[job_id] = spec
+        self._attempts[job_id] = 0
         if self._degraded:
             self._run_serial(job_id, spec)
             return job_id
@@ -229,12 +335,31 @@ class SimulationPool:
     def status(self, job_id: int) -> str:
         if job_id in self._records:
             record = self._records[job_id]
+            if record.get("status") == "dead_letter":
+                return "dead_letter"
             return "failed" if record.get("failed") else "done"
         if any(job == job_id for job, _ in self._assigned.values()):
             return "running"
         if job_id in self._pending:
             return "queued"
         return "unknown"
+
+    def attempts(self, job_id: int) -> int:
+        """Deliveries so far for one job (redelivery accounting)."""
+        return self._attempts.get(job_id, 0)
+
+    def dead_letters(self) -> List[dict]:
+        """Every dead-letter record resolved so far."""
+        return [dict(r, job_id=job_id) for job_id, r in self._records.items()
+                if r.get("status") == "dead_letter"]
+
+    def lease_snapshot(self) -> Dict[int, dict]:
+        """Live leases: ``{pid: {job, expires_in_s, suspect}}``."""
+        now = time.monotonic()
+        return {pid: {"job": job,
+                      "expires_in_s": self._lease_deadline.get(pid, 0.0) - now,
+                      "suspect": pid in self._suspect}
+                for pid, (job, _) in self._assigned.items()}
 
     def stats_snapshot(self) -> dict:
         snapshot = dict(self.stats)
@@ -247,15 +372,18 @@ class SimulationPool:
         snapshot["workers"] = self.alive_workers()
         snapshot["degraded"] = self._degraded
         snapshot["pending"] = len(self._pending)
+        snapshot["leases"] = len(self._assigned)
         return snapshot
 
     # -- the event loop --------------------------------------------------------
 
     def tick(self, block_s: float = 0.05) -> None:
-        """One scheduling step: collect results, enforce deadlines, reap
-        dead workers, hand out backlog, degrade when the fleet is gone."""
+        """One scheduling step: collect results, enforce deadlines and
+        leases, reap dead workers, hand out backlog, degrade when the
+        fleet is gone."""
         self._drain_messages(block_s if self._pending else 0.0)
         self._enforce_timeouts()
+        self._enforce_leases()
         self._reap_dead_workers()
         if self._pending and not self._degraded and not self.alive_workers():
             self._degraded = True
@@ -301,9 +429,15 @@ class SimulationPool:
             job_id = self._backlog.pop(0)
             if job_id not in self._pending:  # already resolved (cancel)
                 continue
-            self._worker_qs[pid].put((job_id, self._pending[job_id]))
-            self._assigned[pid] = (job_id, time.monotonic())
+            attempt = self._attempts.get(job_id, 0) + 1
+            self._attempts[job_id] = attempt
+            self._worker_qs[pid].put((job_id, self._pending[job_id], attempt))
+            now = time.monotonic()
+            self._assigned[pid] = (job_id, now)
+            self._lease_deadline[pid] = now + self.lease_s
+            self._suspect.pop(pid, None)
             self.stats["dispatched"] += 1
+            self._journal("leased", job_id, attempt=attempt, pid=pid)
 
     def _drain_messages(self, block_s: float = 0.0) -> None:
         if self._result_q is None:
@@ -321,11 +455,19 @@ class SimulationPool:
                 self._evictions_by_pid[pid] = evictions
             if trace_stats is not None:
                 self._trace_stats_by_pid[pid] = trace_stats
-            if kind == "done":
+            if pid in self._assigned:
+                # Any sign of life renews the lease and clears suspicion.
+                self._lease_deadline[pid] = time.monotonic() + self.lease_s
+                self._suspect.pop(pid, None)
+            if kind == "hb":
+                self.stats["heartbeats"] += 1
+            elif kind == "done":
                 self._assigned.pop(pid, None)
+                self._lease_deadline.pop(pid, None)
                 self._resolve(job_id, payload)
             elif kind == "error":
                 self._assigned.pop(pid, None)
+                self._lease_deadline.pop(pid, None)
                 spec = self._pending.get(job_id)
                 if spec is not None:
                     self._resolve(job_id, failure_record(
@@ -337,13 +479,18 @@ class SimulationPool:
             return
         self._pending.pop(job_id, None)
         self._records[job_id] = record
-        if record.get("failed"):
+        if record.get("status") == "dead_letter":
+            self.stats["dead_lettered"] += 1
+            self._journal("dead_letter", job_id, error=record.get("error"))
+        elif record.get("failed"):
             self.stats["failed"] += 1
+            self._journal("failed", job_id, error=record.get("error"))
         else:
             self.stats["completed"] += 1
             key = self._keys.get(job_id)
             if self.store is not None and key is not None:
                 self.store.put(key, record)
+            self._journal("done", job_id)
 
     def _resolve_cancelled(self, job_id: int) -> None:
         spec = self._pending.get(job_id)
@@ -353,6 +500,22 @@ class SimulationPool:
         self._records[job_id] = failure_record(spec, "cancelled",
                                                status="cancelled")
         self.stats["cancelled"] += 1
+        self._journal("failed", job_id, error="cancelled")
+
+    def _redeliver_or_dead_letter(self, job_id: int, cause: str) -> None:
+        """A delivery was lost (dead worker / reclaimed lease): hand the
+        job to a fresh worker unless its redelivery budget is spent."""
+        spec = self._pending.get(job_id)
+        if spec is None:
+            return
+        attempts = self._attempts.get(job_id, 0)
+        if attempts > self.max_redeliveries:
+            self._resolve(job_id, failure_record(
+                spec, f"dead-lettered after {attempts} deliveries "
+                      f"(last: {cause})", status="dead_letter"))
+            return
+        self.stats["redeliveries"] += 1
+        self._backlog.insert(0, job_id)
 
     def _enforce_timeouts(self) -> None:
         if not self.timeout:
@@ -368,12 +531,50 @@ class SimulationPool:
                 proc.join(timeout=1.0)
                 self._retire_worker(pid)
             self._assigned.pop(pid, None)
+            self._lease_deadline.pop(pid, None)
+            self._suspect.pop(pid, None)
             spec = self._pending.get(job_id)
             if spec is not None:
                 self.stats["timeouts"] += 1
                 self._resolve(job_id, failure_record(
                     spec, f"timed out after {self.timeout}s",
                     status="timeout"))
+            self._maybe_respawn()
+
+    def _enforce_leases(self) -> None:
+        """Reclaim jobs whose lease expired: poll -> terminate -> respawn.
+
+        A lease expiry means no heartbeat arrived in time.  The worker
+        gets one grace interval first (``suspect``) — a late heartbeat
+        clears it — then is terminated, its job redelivered (or
+        dead-lettered), and a replacement spawned.
+        """
+        if not self.lease_s:
+            return
+        now = time.monotonic()
+        for pid in list(self._assigned):
+            deadline = self._lease_deadline.get(pid)
+            if deadline is None or now <= deadline:
+                continue
+            proc = self._workers.get(pid)
+            if proc is None or not proc.is_alive():
+                continue  # dead, not hung: the reaper owns this pid
+            grace_until = self._suspect.get(pid)
+            if grace_until is None:
+                # Poll first: give one heartbeat interval of grace.
+                self._suspect[pid] = now + self.heartbeat_s
+                continue
+            if now <= grace_until:
+                continue
+            # Still silent after the grace poll: reclaim.
+            self.stats["lease_expired"] += 1
+            proc.terminate()
+            proc.join(timeout=1.0)
+            self._retire_worker(pid)
+            job_id, _ = self._assigned.pop(pid)
+            self._lease_deadline.pop(pid, None)
+            self._suspect.pop(pid, None)
+            self._redeliver_or_dead_letter(job_id, "lease expired")
             self._maybe_respawn()
 
     def _retire_worker(self, pid: int) -> None:
@@ -392,16 +593,15 @@ class SimulationPool:
                 continue
             self.stats["worker_deaths"] += 1
             died_with = self._assigned.pop(pid, None)
+            self._lease_deadline.pop(pid, None)
+            self._suspect.pop(pid, None)
             if died_with is not None:
-                # Re-execute the casualty's job serially: a worker-killer
-                # must not be given a second worker to kill.  The
-                # assignment map is parent-side state, so the casualty is
-                # known even if the worker died before any message
-                # flushed.
-                job_id = died_with[0]
-                spec = self._pending.get(job_id)
-                if spec is not None:
-                    self._run_serial(job_id, spec)
+                # The assignment map is parent-side state, so the
+                # casualty is known even if the worker died before any
+                # message flushed.  Redeliver to a fresh worker within
+                # the bounded budget; a repeat offender is poison and
+                # dead-letters instead of killing the whole fleet.
+                self._redeliver_or_dead_letter(died_with[0], "worker died")
             self._maybe_respawn()
 
     def _maybe_respawn(self) -> None:

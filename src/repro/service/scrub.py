@@ -1,0 +1,83 @@
+"""Store repair: turn quarantined entries back into runnable jobs.
+
+A quarantined result entry failed its digest check, but a flipped bit
+usually leaves most of the JSON readable — enough to recover *what* was
+simulated (core name, app, trace lengths) and recompute it from scratch.
+Results are content-addressed and simulations deterministic, so a
+re-run writes a fresh, valid entry; the quarantined file is evidence
+until the recomputation lands.
+
+Only specs built from the stock core factories and suite apps can be
+reconstructed this way; a quarantined entry for a custom config is
+reported as unrepairable (its submitter still holds the real spec).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.service.jobs import JobSpec
+from repro.service.store import ResultStore
+
+
+def _spec_from_quarantined(path: Path) -> Optional[JobSpec]:
+    """Best-effort JobSpec from a quarantined envelope, or None."""
+    try:
+        envelope = json.loads(path.read_bytes().decode(errors="replace"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    record = envelope.get("record") if isinstance(envelope, dict) else None
+    if not isinstance(record, dict):
+        return None
+    core = record.get("core")
+    app = record.get("app")
+    try:
+        n_instrs = int(record.get("n_instrs"))
+        warmup = int(record.get("warmup"))
+    except (TypeError, ValueError):
+        return None
+    from repro.__main__ import _CORES
+    from repro.workloads.suite import SUITE
+    if core not in _CORES or app not in SUITE:
+        return None
+    return JobSpec.make(_CORES[core](), SUITE[app],
+                        n_instrs=n_instrs, warmup=warmup)
+
+
+def quarantined_specs(store: ResultStore) \
+        -> Tuple[List[Tuple[Path, JobSpec]], List[str]]:
+    """Split the quarantine backlog into (path, rebuilt spec) pairs and
+    the names of entries too damaged (or too custom) to reconstruct."""
+    repairable: List[Tuple[Path, JobSpec]] = []
+    unrepairable: List[str] = []
+    for path in store.quarantined_paths():
+        spec = _spec_from_quarantined(path)
+        if spec is None:
+            unrepairable.append(path.name)
+        else:
+            repairable.append((path, spec))
+    return repairable, unrepairable
+
+
+def repair_quarantined(store: ResultStore, pool) -> dict:
+    """Re-run every reconstructable quarantined entry through ``pool``
+    (synchronously) and drop the quarantined file once its replacement
+    record landed in the store.  Returns a repair report."""
+    repairable, unrepairable = quarantined_specs(store)
+    report = {"attempted": len(repairable), "repaired": 0,
+              "failed": 0, "unrepairable": unrepairable}
+    if not repairable:
+        return report
+    records = pool.run_batch([spec for _, spec in repairable])
+    for (path, spec), record in zip(repairable, records):
+        if record.get("failed") or store.get(spec.key()) is None:
+            report["failed"] += 1
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        report["repaired"] += 1
+    return report

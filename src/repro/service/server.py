@@ -4,16 +4,20 @@ Endpoints
 ---------
 ``POST /jobs``            submit one job (``{"core": ..., "app": ...}``)
                           or a batch (``{"jobs": [...]}``); responds 202
-                          with one entry per job, or **429** with a
+                          with one entry per job, **429** with a
                           ``Retry-After`` header when the bounded queue
                           is full (explicit backpressure — clients retry,
-                          the server never buffers unboundedly).
+                          the server never buffers unboundedly), or
+                          **503** + ``Retry-After`` while draining.
 ``GET /jobs/<id>``        job status: queued | running | done | failed
+                          | dead_letter
+``GET /jobs``             list jobs (``?status=`` filters; dead-letter
+                          inspection is ``/jobs?status=dead_letter``)
 ``GET /results/<key>``    the raw store record for a result key
-``GET /healthz``          liveness (also reports worker count)
-``GET /stats``            store hits/misses/evictions/quarantines, pool
-                          counters (incl. trace-cache evictions), queue
-                          depth, jobs by status
+``GET /healthz``          liveness: ``ok`` | ``draining`` (+ workers)
+``GET /stats``            store/pool/queue/journal counters, jobs by
+                          status, recovery + scrub summaries
+``POST /scrub``           integrity walk of the result + trace stores
 
 Submissions land in a bounded **priority queue** (lower number = served
 first; ties FIFO).  A single dispatcher thread moves jobs from that
@@ -22,6 +26,15 @@ jobs in flight so late high-priority submissions overtake queued
 low-priority ones — and resolves completions back into the job registry.
 A job whose key is already in the store completes at submission time
 without ever touching the queue.
+
+Durability: given a :class:`~repro.service.journal.Journal` the service
+writes every job-state transition through it *before* acknowledging, so
+a restarted server replays the journal, re-registers every acknowledged
+job, completes those whose results already landed in the store (zero
+re-simulation) and re-queues the rest.  SIGTERM/SIGINT trigger a
+graceful drain: new submissions get 503, leased jobs run to completion
+up to a deadline, and the queued remainder stays journaled for the next
+start.
 """
 
 from __future__ import annotations
@@ -30,11 +43,15 @@ import dataclasses
 import json
 import queue
 import re
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.common.params import CoreConfig
+from repro.service.journal import TERMINAL_STATES, Journal, fold_jobs
 from repro.service.jobs import JobSpec
 from repro.service.pool import SimulationPool
 from repro.service.store import ResultStore
@@ -42,12 +59,19 @@ from repro.service.store import ResultStore
 #: Priority used when a submission does not specify one.
 DEFAULT_PRIORITY = 100
 
-#: Hint sent with 429 responses.
+#: Hint sent with 429 (queue full) and 503 (draining) responses.
 RETRY_AFTER_S = 2
+
+#: Seconds between journal heartbeat records while jobs are in flight.
+HEARTBEAT_JOURNAL_S = 1.0
 
 
 class QueueFullError(Exception):
     """The bounded submission queue is at capacity."""
+
+
+class DrainingError(Exception):
+    """The service is draining and accepts no new jobs."""
 
 
 class BadJobError(Exception):
@@ -112,13 +136,21 @@ def spec_from_request(body: dict) -> JobSpec:
 
 
 class SimulationService:
-    """Job registry + bounded priority queue + dispatcher thread."""
+    """Job registry + bounded priority queue + dispatcher thread.
+
+    With a journal, every acknowledged state transition is durable:
+    ``submitted`` is written before the 202 leaves the building, so a
+    crash never loses an acknowledged job — :meth:`recover` rebuilds the
+    registry and queue on the next start.
+    """
 
     def __init__(self, pool: SimulationPool, store: ResultStore,
-                 max_queue: int = 64) -> None:
+                 max_queue: int = 64,
+                 journal: Optional[Journal] = None) -> None:
         self.pool = pool
         self.store = store
         self.max_queue = max_queue
+        self.journal = journal
         self.queue: "queue.PriorityQueue[Tuple[int, int, str]]" = \
             queue.PriorityQueue(maxsize=max_queue)
         self._lock = threading.Lock()
@@ -126,12 +158,22 @@ class SimulationService:
         self._seq = 0
         self._pool_ids: Dict[int, str] = {}
         self._stop = threading.Event()
+        self._draining = False
+        self._drained = threading.Event()
+        self._last_hb = 0.0
+        self.recovery: Dict[str, int] = {
+            "replayed": 0, "recovered_done": 0, "recovered_terminal": 0,
+            "requeued": 0, "lost": 0,
+        }
+        self.scrub_report: Optional[dict] = None
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="dispatcher", daemon=True)
 
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:
+        if self.journal is not None:
+            self.recover()
         self.pool.start()
         self._dispatcher.start()
 
@@ -139,11 +181,120 @@ class SimulationService:
         self._stop.set()
         self._dispatcher.join(timeout=5.0)
         self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- graceful drain --------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting and dispatching; in-flight jobs keep running."""
+        if self._draining:
+            return
+        self._draining = True
+        self._journal_append("drain")
+
+    def drain(self, timeout_s: Optional[float] = 30.0) -> bool:
+        """Wait for in-flight (leased) jobs to finish; returns True when
+        the pool emptied within the deadline.  Queued-but-undispatched
+        jobs are left journaled for the next start."""
+        self.begin_drain()
+        if not self._dispatcher.is_alive():
+            return not self._pool_ids
+        return self._drained.wait(timeout=timeout_s)
+
+    # -- journal ---------------------------------------------------------------
+
+    def _journal_append(self, type_: str, **fields) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(type_, **fields)
+        except OSError:  # journalling must never take down the service
+            pass
+
+    def recover(self) -> None:
+        """Replay the journal: re-register every acknowledged job.
+
+        Jobs already terminal keep their state.  Non-terminal jobs whose
+        result key is meanwhile in the store complete as ``done`` with
+        zero re-simulation (the content-addressed store is the dedup
+        authority — this also heals a torn/corrupt terminal record).
+        Everything else re-enters the queue at its original priority.
+        Afterwards the journal is compacted down to the live jobs.
+        """
+        assert self.journal is not None
+        folded = fold_jobs(self.journal.records())
+        live: list = []
+        for job_id, state in folded.items():
+            self.recovery["replayed"] += 1
+            match = re.fullmatch(r"job-(\d+)", job_id)
+            if match:
+                self._seq = max(self._seq, int(match.group(1)))
+            entry = {"id": job_id, "key": state["key"],
+                     "priority": state["priority"], "recovered": True}
+            spec_dict = state.get("spec")
+            spec = None
+            if isinstance(spec_dict, dict):
+                try:
+                    spec = JobSpec(**spec_dict)
+                except TypeError:
+                    spec = None
+            if spec is not None:
+                entry["core"] = spec.core.get("name")
+                entry["app"] = spec.profile.get("name")
+            if state["status"] in TERMINAL_STATES:
+                entry["status"] = state["status"]
+                if state["status"] == "done":
+                    entry["cached"] = state["cached"]
+                    self.recovery["recovered_done"] += 1
+                else:
+                    entry["error"] = state.get("error")
+                    self.recovery["recovered_terminal"] += 1
+                self._jobs[job_id] = entry
+                continue
+            key = state["key"]
+            if key is not None and self.store.get(key) is not None:
+                # The simulation already completed; only the terminal
+                # journal record was lost.  Store dedup: done, no rerun.
+                entry["status"] = "done"
+                entry["cached"] = True
+                self._jobs[job_id] = entry
+                self.recovery["recovered_done"] += 1
+                continue
+            if spec is None:
+                entry["status"] = "failed"
+                entry["error"] = "lost on recovery: spec unrecoverable"
+                self._jobs[job_id] = entry
+                self.recovery["lost"] += 1
+                continue
+            entry["status"] = "queued"
+            entry["spec"] = spec
+            try:
+                self.queue.put_nowait((state["priority"], self._seq + len(live),
+                                       job_id))
+            except queue.Full:
+                entry["status"] = "failed"
+                entry["error"] = "lost on recovery: queue full"
+                self._jobs[job_id] = entry
+                self.recovery["lost"] += 1
+                continue
+            self._jobs[job_id] = entry
+            self.recovery["requeued"] += 1
+            live.append({"t": "submitted", "job": job_id, "key": key,
+                         "spec": spec_dict, "priority": state["priority"]})
+        self.journal.compact(live)
 
     # -- submission (called from HTTP handler threads) -------------------------
 
     def submit(self, spec: JobSpec,
                priority: int = DEFAULT_PRIORITY) -> dict:
+        if self._draining:
+            raise DrainingError("service is draining; retry against the "
+                                "next instance")
         key = spec.key()
         with self._lock:
             self._seq += 1
@@ -159,13 +310,23 @@ class SimulationService:
                 entry["status"] = "done"
                 entry["cached"] = True
                 self._jobs[job_id] = entry
+                # One record: a cached submission folds straight to done.
+                self._journal_append("submitted", job=job_id, key=key,
+                                     priority=priority, cached=True)
                 return self._public(entry)
             self._jobs[job_id] = entry
+            # Journal *before* acknowledging: a crash after the 202 can
+            # never lose this job.
+            self._journal_append("submitted", job=job_id, key=key,
+                                 spec=dataclasses.asdict(spec),
+                                 priority=priority)
         try:
             self.queue.put_nowait((priority, self._seq, job_id))
         except queue.Full:
             with self._lock:
                 del self._jobs[job_id]
+            self._journal_append("failed", job=job_id,
+                                 error="rejected: queue full")
             raise QueueFullError(
                 f"queue full ({self.max_queue} jobs); retry later")
         return self._public(entry)
@@ -175,12 +336,41 @@ class SimulationService:
             entry = self._jobs.get(job_id)
             return self._public(entry) if entry else None
 
+    def jobs_snapshot(self, status: Optional[str] = None) -> list:
+        """Public views of every job, optionally filtered by status."""
+        with self._lock:
+            return [self._public(entry) for entry in self._jobs.values()
+                    if status is None or entry["status"] == status]
+
     @staticmethod
     def _public(entry: dict) -> dict:
         public = {k: v for k, v in entry.items() if k != "spec"}
-        if entry["status"] in ("done", "failed"):
+        if entry["status"] in ("done", "failed") and entry.get("key"):
             public["result_url"] = f"/results/{entry['key']}"
         return public
+
+    def scrub(self, repair: bool = False) -> dict:
+        """Integrity-walk the result + trace stores (see store.scrub).
+
+        With ``repair``, reconstructable quarantined entries re-enter
+        the normal submission path as new jobs (the dispatcher owns the
+        pool — repairs ride the same queue as everything else); the
+        report lists their job ids for the caller to poll.
+        """
+        report = self.store.scrub()
+        if repair:
+            from repro.service.scrub import quarantined_specs
+            repairable, unrepairable = quarantined_specs(self.store)
+            requeued = []
+            for _, spec in repairable:
+                try:
+                    requeued.append(self.submit(spec)["id"])
+                except (QueueFullError, DrainingError):
+                    break
+            report["repair"] = {"requeued": requeued,
+                                "unrepairable": unrepairable}
+        self.scrub_report = report
+        return report
 
     def stats(self) -> dict:
         with self._lock:
@@ -188,12 +378,19 @@ class SimulationService:
             for entry in self._jobs.values():
                 by_status[entry["status"]] = \
                     by_status.get(entry["status"], 0) + 1
-        return {
+        stats = {
             "store": self.store.stats_snapshot(),
             "pool": self.pool.stats_snapshot(),
             "queue": {"depth": self.queue.qsize(), "max": self.max_queue},
             "jobs": by_status,
+            "service": {"draining": self._draining,
+                        "recovery": dict(self.recovery)},
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats_snapshot()
+        if self.scrub_report is not None:
+            stats["scrub"] = self.scrub_report
+        return stats
 
     # -- dispatcher ------------------------------------------------------------
 
@@ -201,7 +398,7 @@ class SimulationService:
         max_in_flight = max(2 * self.pool.n_workers, 2)
         while not self._stop.is_set():
             moved = False
-            if len(self._pool_ids) < max_in_flight:
+            if not self._draining and len(self._pool_ids) < max_in_flight:
                 try:
                     _, _, job_id = self.queue.get(timeout=0.05)
                     moved = True
@@ -214,8 +411,26 @@ class SimulationService:
                             entry["status"] = "running"
                             pool_id = self.pool.submit(entry["spec"])
                             self._pool_ids[pool_id] = job_id
+                            self._journal_append(
+                                "leased", job=job_id,
+                                attempt=self.pool.attempts(pool_id) or 1)
             self.pool.tick(block_s=0.0 if moved else 0.05)
             self._collect()
+            self._heartbeat_journal()
+            if self._draining and not self._pool_ids:
+                self._drained.set()
+            elif self._pool_ids:
+                self._drained.clear()
+
+    def _heartbeat_journal(self) -> None:
+        """Journal a liveness record ~1/s while work is in flight, so a
+        post-crash reader can tell how recently the server was alive."""
+        if self.journal is None or not self._pool_ids:
+            return
+        now = time.monotonic()
+        if now - self._last_hb >= HEARTBEAT_JOURNAL_S:
+            self._last_hb = now
+            self._journal_append("heartbeat", leases=len(self._pool_ids))
 
     def _collect(self) -> None:
         for pool_id in list(self._pool_ids):
@@ -227,11 +442,19 @@ class SimulationService:
                 entry = self._jobs.get(job_id)
                 if entry is None:
                     continue
-                if record.get("failed"):
+                if record.get("status") == "dead_letter":
+                    entry["status"] = "dead_letter"
+                    entry["error"] = record.get("error")
+                    self._journal_append("dead_letter", job=job_id,
+                                         error=record.get("error"))
+                elif record.get("failed"):
                     entry["status"] = "failed"
                     entry["error"] = record.get("error")
+                    self._journal_append("failed", job=job_id,
+                                         error=record.get("error"))
                 else:
                     entry["status"] = "done"
+                    self._journal_append("done", job=job_id)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -259,10 +482,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         service = self.service
         if self.path == "/healthz":
-            self._send(200, {"status": "ok",
+            self._send(200, {"status": "draining" if service.draining
+                             else "ok",
                              "workers": service.pool.alive_workers()})
         elif self.path == "/stats":
             self._send(200, service.stats())
+        elif self.path == "/jobs" or self.path.startswith("/jobs?"):
+            status = None
+            match = re.fullmatch(r"/jobs\?status=([a-z_]+)", self.path)
+            if match:
+                status = match.group(1)
+            self._send(200, {"jobs": service.jobs_snapshot(status)})
         elif self.path.startswith("/jobs/"):
             job = service.job(self.path[len("/jobs/"):])
             if job is None:
@@ -281,8 +511,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, {"error": "unknown endpoint"})
 
     def do_POST(self) -> None:
+        if self.path == "/scrub" or self.path == "/scrub?repair=1":
+            report = self.service.scrub(repair=self.path.endswith("repair=1"))
+            self._send(200, report)
+            return
         if self.path != "/jobs":
             self._send(404, {"error": "unknown endpoint"})
+            return
+        if self.service.draining:
+            self._send(503, {"error": "service is draining",
+                             "retry_after_s": RETRY_AFTER_S},
+                       headers={"Retry-After": str(RETRY_AFTER_S)})
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -312,6 +551,11 @@ class _Handler(BaseHTTPRequestHandler):
                              "retry_after_s": RETRY_AFTER_S},
                        headers={"Retry-After": str(RETRY_AFTER_S)})
             return
+        except DrainingError as exc:
+            self._send(503, {"error": str(exc), "accepted": accepted,
+                             "retry_after_s": RETRY_AFTER_S},
+                       headers={"Retry-After": str(RETRY_AFTER_S)})
+            return
         self._send(202, {"jobs": accepted})
 
 
@@ -320,15 +564,24 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                   store_dir: str = ".repro-store",
                   max_queue: int = 64,
                   timeout: Optional[float] = None,
-                  max_store_entries: Optional[int] = None):
+                  max_store_entries: Optional[int] = None,
+                  journal_sync: Optional[str] = "batch"):
     """Build (but do not start serving) the HTTP service.
 
     Returns ``(httpd, service)``; callers run ``httpd.serve_forever()``
-    and ``service.stop()``/``httpd.shutdown()`` to tear down.
+    and ``service.stop()``/``httpd.shutdown()`` to tear down.  The
+    write-ahead journal lives under ``<store_dir>/journal`` with the
+    given fsync policy (``always`` | ``batch`` | ``off``); pass
+    ``journal_sync=None`` to run without one (volatile job state, as
+    before the journal existed).
     """
     store = ResultStore(store_dir, max_entries=max_store_entries)
+    journal = None
+    if journal_sync not in (None, "none"):
+        journal = Journal(Path(store_dir) / "journal", sync=journal_sync)
     pool = SimulationPool(n_workers=workers, store=store, timeout=timeout)
-    service = SimulationService(pool, store, max_queue=max_queue)
+    service = SimulationService(pool, store, max_queue=max_queue,
+                                journal=journal)
     handler = type("Handler", (_Handler,), {"service": service})
     httpd = ThreadingHTTPServer((host, port), handler)
     httpd.daemon_threads = True
@@ -338,15 +591,48 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
 
 def serve(host: str, port: int, workers: Optional[int], store_dir: str,
           max_queue: int, timeout: Optional[float],
+          drain_timeout_s: float = 30.0,
+          journal_sync: Optional[str] = "batch",
           echo=print) -> int:
-    """Blocking entry point behind ``python -m repro serve``."""
+    """Blocking entry point behind ``python -m repro serve``.
+
+    SIGTERM/SIGINT start a graceful drain: submissions get 503 +
+    ``Retry-After``, leased jobs finish (up to ``drain_timeout_s``), the
+    queued remainder stays journaled for the next start, and the process
+    exits 0.
+    """
     httpd, service = create_server(host=host, port=port, workers=workers,
                                    store_dir=store_dir, max_queue=max_queue,
-                                   timeout=timeout)
+                                   timeout=timeout, journal_sync=journal_sync)
     bound = httpd.server_address
+    recovered = service.recovery
     echo(f"simulation service on http://{bound[0]}:{bound[1]} "
          f"({service.pool.n_workers} worker(s), store {store_dir}, "
-         f"queue {max_queue})")
+         f"queue {max_queue}, journal "
+         f"{journal_sync if service.journal else 'off'})")
+    if recovered["replayed"]:
+        echo(f"recovered {recovered['replayed']} journaled job(s): "
+             f"{recovered['recovered_done']} already done, "
+             f"{recovered['requeued']} re-queued, "
+             f"{recovered['lost']} lost")
+
+    def _drain_and_stop(signum, frame):
+        echo(f"signal {signum}: draining (timeout {drain_timeout_s}s)")
+        service.begin_drain()
+
+        def _finish():
+            clean = service.drain(timeout_s=drain_timeout_s)
+            echo("drain complete" if clean
+                 else "drain timed out; queued work stays journaled")
+            httpd.shutdown()
+
+        threading.Thread(target=_finish, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+        signal.signal(signal.SIGINT, _drain_and_stop)
+    except ValueError:  # not the main thread (tests): no signal handling
+        pass
     try:
         httpd.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:

@@ -113,6 +113,8 @@ class ResultStore:
             "hits": 0, "misses": 0, "writes": 0,
             "evictions": 0, "quarantined": 0,
         }
+        #: Report of the most recent :meth:`scrub` (surfaced in /stats).
+        self.last_scrub: Optional[dict] = None
 
     # -- paths -----------------------------------------------------------------
 
@@ -213,8 +215,44 @@ class ResultStore:
             except OSError:
                 pass
 
+    def quarantined_paths(self) -> List[Path]:
+        """Every quarantined entry file, sorted (repair/inspection)."""
+        qdir = self.root / "quarantine"
+        return sorted(qdir.glob("*.json")) if qdir.is_dir() else []
+
+    def scrub(self) -> dict:
+        """Full integrity walk: re-hash every envelope in the result
+        store (and the sibling trace store, when present), quarantining
+        result mismatches and deleting corrupt traces.
+
+        Returns (and remembers, for ``/stats``) a report with per-store
+        counts and the keys quarantined by this walk.
+        """
+        report = {"results": {"checked": 0, "ok": 0, "quarantined": []}}
+        for path in list(self._entries()):
+            key = path.stem
+            report["results"]["checked"] += 1
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue  # raced with eviction: nothing to verify
+            if _decode_record(key, raw) is None:
+                self._quarantine(path)
+                report["results"]["quarantined"].append(key)
+            else:
+                report["results"]["ok"] += 1
+        traces_root = self.root / "traces"
+        if traces_root.is_dir():
+            report["traces"] = TraceStore(traces_root).scrub()
+        report["quarantine_backlog"] = len(self.quarantined_paths())
+        self.last_scrub = report
+        return report
+
     def stats_snapshot(self) -> dict:
-        return dict(self.stats, entries=len(self))
+        snapshot = dict(self.stats, entries=len(self))
+        if self.last_scrub is not None:
+            snapshot["last_scrub"] = self.last_scrub
+        return snapshot
 
 
 # -- shared synthetic traces ---------------------------------------------------
@@ -304,6 +342,40 @@ class TraceStore:
         os.replace(tmp, path)
         self.stats["writes"] += 1
         return path
+
+    def _validate(self, path: Path) -> bool:
+        key = path.stem
+        try:
+            envelope = pickle.loads(path.read_bytes())
+        except Exception:
+            return False
+        return (isinstance(envelope, dict)
+                and envelope.get("schema") == TRACE_SCHEMA
+                and envelope.get("key") == key
+                and isinstance(envelope.get("trace"), list))
+
+    def scrub(self) -> dict:
+        """Integrity walk: validate every pickled trace envelope.
+
+        Traces are bulk regenerable, so a corrupt entry is deleted (and
+        counted), not quarantined — the next worker regenerates it.
+        """
+        report = {"checked": 0, "ok": 0, "deleted": 0}
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in list(shard.glob("*.pkl")):
+                report["checked"] += 1
+                if self._validate(path):
+                    report["ok"] += 1
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self.stats["corrupt"] += 1
+                report["deleted"] += 1
+        return report
 
     def stats_snapshot(self) -> dict:
         return dict(self.stats)

@@ -6,7 +6,12 @@ import urllib.request
 
 import pytest
 
-from repro.service.client import ServiceBusyError, ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceDrainingError,
+    ServiceError,
+)
 from repro.service.server import create_server
 
 N, WARMUP = 1200, 200
@@ -119,6 +124,64 @@ class TestValidation:
         with pytest.raises(ServiceError) as exc:
             service._request("/no/such/endpoint")
         assert exc.value.status == 404
+
+
+class TestDrainScrubListing:
+    @pytest.fixture()
+    def own_service(self, tmp_path):
+        """A private server: these tests mutate service-wide state
+        (drain, scrub) that must not leak into the shared fixture."""
+        httpd, svc = create_server(host="127.0.0.1", port=0, workers=1,
+                                   store_dir=str(tmp_path / "store"),
+                                   max_queue=16)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        host, port = httpd.server_address
+        client = ServiceClient(f"http://{host}:{port}", timeout=30)
+        yield client, svc
+        svc.stop()
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+    def test_drain_refuses_submissions_with_503(self, own_service):
+        client, svc = own_service
+        svc.begin_drain()
+        assert client.health()["status"] == "draining"
+        with pytest.raises(ServiceDrainingError) as exc:
+            client.submit(_job())
+        assert exc.value.status == 503
+        assert exc.value.retry_after_s > 0
+        req = urllib.request.Request(
+            client.base_url + "/jobs", data=b'{"core":"ino","app":"mcf"}',
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as http_exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert http_exc.value.code == 503
+        assert http_exc.value.headers.get("Retry-After") is not None
+
+    def test_jobs_listing_with_status_filter(self, own_service):
+        client, _ = own_service
+        (entry, ) = client.submit(_job())
+        client.wait([entry["id"]], poll_s=0.1, timeout_s=120)
+        listed = client.jobs()
+        assert any(job["id"] == entry["id"] for job in listed)
+        done = client.jobs(status="done")
+        assert all(job["status"] == "done" for job in done)
+        assert any(job["id"] == entry["id"] for job in done)
+        assert client.jobs(status="failed") == []
+
+    def test_scrub_endpoint_reports_and_lands_in_stats(self, own_service):
+        client, _ = own_service
+        (entry, ) = client.submit(_job())
+        client.wait([entry["id"]], poll_s=0.1, timeout_s=120)
+        report = client.scrub()
+        assert report["results"]["checked"] >= 1
+        assert report["results"]["quarantined"] == []
+        assert report["quarantine_backlog"] == 0
+        assert "scrub" in client.stats()
 
 
 class TestBackpressure:

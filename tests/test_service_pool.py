@@ -78,18 +78,54 @@ class TestStoreIntegration:
 
 class TestFaults:
     def test_worker_death_contained_and_job_recovered(self):
-        """A job that kills its worker is re-executed serially in the
-        parent and still completes; the pool respawns and finishes the
-        rest of the batch."""
+        """A job that kills its worker is redelivered to a fresh worker
+        and still completes; the pool respawns and finishes the rest of
+        the batch."""
         specs = _specs([("ino", "hmmer"), ("ino", "mcf")])
-        specs[0] = dataclasses.replace(specs[0], test_kill=True)
+        specs[0] = dataclasses.replace(specs[0], test_kill=1)
         with SimulationPool(n_workers=1, max_worker_deaths=3) as pool:
             records = pool.run_batch(specs)
             stats = pool.stats_snapshot()
         assert stats["worker_deaths"] >= 1
-        assert stats["serial_fallbacks"] >= 1
+        assert stats["redeliveries"] >= 1
         for record in records:
             assert not record["failed"]
+
+    def test_poison_job_dead_letters_after_redelivery_budget(self):
+        """A job that kills every worker it touches is quarantined as a
+        dead-letter after its redelivery budget, instead of taking the
+        whole fleet down; innocent jobs still complete."""
+        specs = _specs([("ino", "hmmer"), ("ino", "mcf")])
+        specs[0] = dataclasses.replace(specs[0], test_kill=99)
+        with SimulationPool(n_workers=1, max_worker_deaths=10,
+                            max_redeliveries=2) as pool:
+            records = pool.run_batch(specs)
+            stats = pool.stats_snapshot()
+        assert records[0]["failed"]
+        assert records[0]["status"] == "dead_letter"
+        assert not records[1]["failed"]
+        assert stats["dead_lettered"] == 1
+        # first delivery + max_redeliveries redeliveries, then quarantine
+        assert stats["worker_deaths"] == 3
+        assert pool.dead_letters() and \
+            pool.dead_letters()[0]["status"] == "dead_letter"
+
+    def test_stalled_heartbeat_lease_reclaimed_bit_identical(self):
+        """A worker that stops heartbeating loses its lease; the job is
+        redelivered and the rerun is counter-digest identical to serial
+        execution."""
+        specs = _specs([("ino", "hmmer")])
+        serial = execute_job(specs[0])
+        specs[0] = dataclasses.replace(specs[0], test_stall_s=30.0)
+        with SimulationPool(n_workers=1, lease_s=0.6,
+                            heartbeat_s=0.1) as pool:
+            (record, ) = pool.run_batch(specs)
+            stats = pool.stats_snapshot()
+        assert stats["lease_expired"] >= 1
+        assert stats["redeliveries"] >= 1
+        assert not record["failed"]
+        assert record["manifest"]["counter_digest"] == \
+            serial["manifest"]["counter_digest"]
 
     def test_degrades_to_serial_after_max_deaths(self):
         specs = _specs([("ino", "hmmer"), ("ino", "mcf"), ("ino", "milc")])
