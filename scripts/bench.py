@@ -203,6 +203,62 @@ def bench_submit_throughput(repeats: int, jobs: int = 250) -> dict:
             "journal_overhead": best_on / best_off - 1.0}
 
 
+def bench_telemetry_submit(repeats: int, jobs: int = 250) -> dict:
+    """Cached-submit throughput, telemetry-on vs telemetry-off.
+
+    Same shape as :func:`bench_submit_throughput` but isolating the
+    telemetry plane: neither leg journals, so the delta is purely the
+    trace-id mint, span-log appends and metric increments riding each
+    accepted job.  The hot cached path is the one the sweep drivers
+    hammer, so this is where per-job observability cost would show.
+    Interleaved legs, GC paused while timing, best-of-N compared.
+    """
+    import gc
+    import tempfile
+
+    from repro.service.jobs import JobSpec
+    from repro.service.pool import SimulationPool
+    from repro.service.server import SimulationService
+    from repro.service.store import ResultStore
+
+    profile = get_profile("hmmer")
+    cfg = _CORES["ino"]()
+    specs = [JobSpec.make(cfg, profile, n_instrs=1_000 + i, warmup=100)
+             for i in range(jobs)]
+    on_times, off_times = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        for spec in specs:
+            store.put(spec.key(), {"schema": 1, "bench": True})
+        pool = SimulationPool(n_workers=1, store=store)
+        for spec in specs:  # untimed warm pass (page cache, allocator)
+            SimulationService(pool, store, telemetry=False).submit(spec)
+        for rep in range(repeats):
+            legs = [("on", on_times), ("off", off_times)]
+            if rep & 1:  # alternate order so neither leg always runs cold
+                legs.reverse()
+            for leg, times in legs:
+                pool.on_event = None  # drop the previous leg's hook
+                service = SimulationService(pool, store,
+                                            telemetry=(leg == "on"))
+                gc.collect()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    for spec in specs:
+                        service.submit(spec)
+                    times.append(time.perf_counter() - start)
+                finally:
+                    gc.enable()
+        pool.close()
+    best_on = min(on_times)
+    best_off = min(off_times)
+    return {"jobs": jobs, "repeats": repeats,
+            "telemetry_on_s": best_on, "telemetry_off_s": best_off,
+            "jobs_per_s": jobs / best_on,
+            "telemetry_overhead": best_on / best_off - 1.0}
+
+
 def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
     calibration = calibrate()
     results = {}
@@ -238,6 +294,12 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
           f"journal-on ({submit_entry['journal_on_s']:.3f}s vs "
           f"{submit_entry['journal_off_s']:.3f}s journal-off, "
           f"overhead {submit_entry['journal_overhead']:+.1%})")
+    tel_entry = bench_telemetry_submit(max(repeats * 3, 9))
+    results["service/telemetry"] = tel_entry
+    print(f"  service/telemetry: {tel_entry['jobs_per_s']:.0f} jobs/s "
+          f"telemetry-on ({tel_entry['telemetry_on_s']:.3f}s vs "
+          f"{tel_entry['telemetry_off_s']:.3f}s telemetry-off, "
+          f"overhead {tel_entry['telemetry_overhead']:+.1%})")
     return {
         "manifest": {
             "git_rev": git_rev(),
@@ -324,6 +386,24 @@ def check_journal_overhead(report: dict, max_overhead: float) -> int:
     return 0
 
 
+def check_telemetry_overhead(report: dict, max_overhead: float) -> int:
+    """Exit status: 1 when the telemetry plane costs more than
+    ``max_overhead`` cached-submit throughput (self-relative: both legs
+    ran on this host in this invocation)."""
+    entry = report["results"].get("service/telemetry")
+    if entry is None or "telemetry_overhead" not in entry:
+        return 0
+    overhead = entry["telemetry_overhead"]
+    verdict = "ok" if overhead <= max_overhead else "TOO SLOW"
+    print(f"  service/telemetry: telemetry overhead {overhead:+.1%} "
+          f"(max {max_overhead:.0%}, {verdict})")
+    if overhead > max_overhead:
+        print(f"\nFAIL: telemetry costs {overhead:.1%} cached-submit "
+              f"throughput (> {max_overhead:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="host-side simulator benchmark with regression gate")
@@ -351,6 +431,11 @@ def main(argv=None) -> int:
                         help="--check also fails when journaled submit "
                              "throughput trails journal-off by more than "
                              "this fraction")
+    parser.add_argument("--max-telemetry-overhead", type=float,
+                        default=0.05,
+                        help="--check also fails when telemetry-on "
+                             "cached-submit throughput trails "
+                             "telemetry-off by more than this fraction")
     args = parser.parse_args(argv)
 
     n_instrs = args.n if args.n is not None else (3_000 if args.quick
@@ -372,8 +457,10 @@ def main(argv=None) -> int:
         status = check_regressions(report, Path(args.baseline),
                                    args.tolerance)
         status = check_fastforward(report, args.min_ff_speedup) or status
-        return check_journal_overhead(report,
-                                      args.max_journal_overhead) or status
+        status = check_journal_overhead(report,
+                                        args.max_journal_overhead) or status
+        return check_telemetry_overhead(report,
+                                        args.max_telemetry_overhead) or status
     return 0
 
 

@@ -73,16 +73,28 @@ def _load_cfg(args):
     return _CORES[args.core]()
 
 
-def _result_dict(res, n_instrs: int, warmup: int, profile=None) -> dict:
-    """Machine-readable record of one RunResult (with provenance)."""
+def _result_dict(res, n_instrs: int, warmup: int, profile=None,
+                 runner=None) -> dict:
+    """Machine-readable record of one RunResult (with provenance).
+
+    Carries the fast-forward telemetry (spans jumped, cycles elided by
+    the quiescence skipper) and, when the producing ``runner`` is
+    passed, its trace-cache hit/miss counters — observability fields
+    only, never part of the counter digest.
+    """
     from repro.obs.provenance import run_manifest
-    return {
+    doc = {
         "core": res.core.name, "app": res.app, "ipc": res.ipc,
         "n_instrs": n_instrs, "warmup": warmup,
         "energy_j": res.energy.total_j, "epi_nj": res.energy.epi_nj,
+        "ff_spans": res.ff_spans,
+        "ff_skipped_cycles": res.ff_skipped_cycles,
         "counters": res.stats.as_dict(),
         "manifest": run_manifest(res.core, profile, stats=res.stats),
     }
+    if runner is not None:
+        doc["trace_cache"] = runner.trace_cache_stats()
+    return doc
 
 
 def _render_simulation_error(exc) -> str:
@@ -129,7 +141,8 @@ def _cmd_run(args) -> int:
         print(format_table(["counter", "value"], rows))
     if args.json:
         from repro.harness.export import write_json
-        write_json(_result_dict(res, args.n, args.warmup, profile),
+        write_json(_result_dict(res, args.n, args.warmup, profile,
+                                runner=runner),
                    args.json)
         print(f"wrote {args.json}")
     return 0
@@ -157,7 +170,8 @@ def _cmd_compare(args) -> int:
             base = res
         rows.append([name, res.ipc, res.ipc / base.ipc,
                      res.energy.total_j / base.energy.total_j])
-        results[name] = _result_dict(res, args.n, args.warmup, profile)
+        results[name] = _result_dict(res, args.n, args.warmup, profile,
+                                     runner=runner)
         results[name]["speedup"] = res.ipc / base.ipc
         if res.accounting:
             reports[name] = results[name]["accounting"] = res.accounting
@@ -183,11 +197,43 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_trace_service(args) -> int:
+    """Render a service journal's per-job spans as a Perfetto trace:
+    per-job lifecycle slices with queued/running segments, instant
+    markers for lease reclaims and worker deaths, and queue-depth /
+    jobs-running counter tracks."""
+    from repro.harness.export import write_json
+    from repro.obs.perfetto import build_service_trace
+    from repro.obs.telemetry import TERMINAL_SPAN_EVENTS, fold_spans
+    from repro.service.journal import Journal
+
+    journal = Journal(args.service, sync="off")
+    try:
+        spans = fold_spans(journal.records()).spans()
+    finally:
+        journal.close()
+    if not spans:
+        print(f"error: no job spans in {args.service} (empty journal, "
+              "or one written before journal schema 2)", file=sys.stderr)
+        return 1
+    terminal = sum(1 for span in spans.values()
+                   if any(e["ev"] in TERMINAL_SPAN_EVENTS
+                          for e in span["events"]))
+    out = args.perfetto or "service-trace.json"
+    write_json(build_service_trace(spans), out)
+    print(f"{len(spans)} job span(s), {terminal} with a terminal event")
+    print(f"wrote {out} (open in https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """Instrumented single run: event tracing, interval metrics, Perfetto
     export and simulator self-profiling (all read-only — the simulated
     timing matches an uninstrumented ``run``)."""
     import time
+
+    if args.service:
+        return _cmd_trace_service(args)
 
     from repro.cores import build_core
     from repro.harness.tables import format_table as _table
@@ -409,7 +455,9 @@ def _cmd_serve(args) -> int:
                  timeout=args.timeout,
                  drain_timeout_s=args.drain_timeout,
                  journal_sync=None if args.journal == "none"
-                 else args.journal)
+                 else args.journal,
+                 telemetry=not args.no_telemetry,
+                 stats_interval=args.stats_interval)
 
 
 def _cmd_store(args) -> int:
@@ -583,6 +631,11 @@ def main(argv=None) -> int:
                          help="comma-separated event kinds to record")
     trace_p.add_argument("--seq-range", metavar="LO:HI", default=None,
                          help="only record events for this seq window")
+    trace_p.add_argument("--service", metavar="JOURNAL_DIR", default=None,
+                         help="instead of simulating, render a service "
+                              "journal's job spans (queue waits, lease "
+                              "reclaims, worker occupancy) as a Perfetto "
+                              "trace (--perfetto sets the output path)")
 
     char_p = sub.add_parser("characterize",
                             help="measure a synthetic application's trace")
@@ -632,6 +685,14 @@ def main(argv=None) -> int:
                          default="batch",
                          help="write-ahead journal fsync policy; 'none' "
                               "disables journaling (volatile job state)")
+    serve_p.add_argument("--stats-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="periodically log a one-line service stats "
+                              "summary (queue depth, jobs, store hits)")
+    serve_p.add_argument("--no-telemetry", action="store_true",
+                         help="disable the metrics registry, per-job "
+                              "spans and /metrics (results are "
+                              "byte-identical either way)")
 
     store_p = sub.add_parser(
         "store", help="maintain a content-addressed result store")

@@ -40,6 +40,11 @@ class RunResult:
     #: Per-reason stall counters (``MetricsSampler.stall_breakdown()``)
     #: when the runner samples; ``None`` otherwise.
     stalls: Optional[Dict[str, float]] = None
+    #: Fast-forward telemetry from the event-driven quiescence skipper:
+    #: spans jumped and cycles elided.  Observability only — the timed
+    #: counters are bit-identical with skipping on or off.
+    ff_spans: int = 0
+    ff_skipped_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -91,6 +96,11 @@ class Runner:
         #: Traces evicted over this runner's lifetime (reported by the
         #: service ``/stats`` endpoint for long-lived worker processes).
         self.trace_evictions = 0
+        #: In-process trace-cache hits/misses (a miss that the shared
+        #: TraceStore satisfies still counts as a miss here — the store
+        #: keeps its own hit/miss counters).
+        self.trace_hits = 0
+        self.trace_misses = 0
         #: Optional cross-process trace cache (service.store.TraceStore):
         #: consulted on an in-process LRU miss, published to on generate,
         #: so pool workers share one generation of each (app, seed, n).
@@ -111,8 +121,10 @@ class Runner:
         """The (LRU-cached) dynamic trace for a workload profile."""
         key = f"{profile.name}:{profile.seed}:{self.n_instrs}"
         if key in self._traces:
+            self.trace_hits += 1
             self._traces.move_to_end(key)
             return self._traces[key]
+        self.trace_misses += 1
         trace = (self.trace_store.get(profile, self.n_instrs)
                  if self.trace_store is not None else None)
         if trace is None:
@@ -124,6 +136,12 @@ class Runner:
             self._traces.popitem(last=False)
             self.trace_evictions += 1
         return trace
+
+    def trace_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters for the in-process trace LRU."""
+        return {"hits": self.trace_hits, "misses": self.trace_misses,
+                "evictions": self.trace_evictions,
+                "entries": len(self._traces)}
 
     def _result_key(self, cfg: CoreConfig, profile: WorkloadProfile) -> tuple:
         return (_cfg_key(cfg), _mem_key(self.mem_cfg), profile.name,
@@ -142,7 +160,9 @@ class Runner:
                          energy=report,
                          accounting=acct.report() if acct else None,
                          stalls=(sampler.stall_breakdown()
-                                 if sampler else None))
+                                 if sampler else None),
+                         ff_spans=core.ff_spans,
+                         ff_skipped_cycles=core.ff_skipped_cycles)
 
     def run(self, cfg: CoreConfig, profile: WorkloadProfile) -> RunResult:
         """Simulate ``profile`` on ``cfg`` (cached)."""

@@ -136,6 +136,118 @@ def build_trace(schedule, tracer=None, sampler=None,
             "otherData": {"core": core_name, "clock": "1 cycle = 1 us"}}
 
 
+_PID_SERVICE = 10
+_PID_OCCUPANCY = 11
+
+#: Span events that close a job's "running" segment without ending it.
+_INTERRUPTS = ("lease_expired", "worker_died", "timeout")
+_TERMINALS = ("completed", "failed", "dead_lettered")
+
+
+def build_service_trace(spans: Dict[str, dict]) -> dict:
+    """Trace-event document of a batch's job lifecycles (service spans).
+
+    ``spans`` is ``{job_id: {"job", "trace", "events": [...]}}`` as
+    produced by :meth:`repro.obs.telemetry.SpanLog.spans` (live service)
+    or :func:`repro.obs.telemetry.fold_spans` (from a journal).  Layout:
+
+    * **pid 10, "service jobs"** — one nestable *async* slice stack per
+      job (``ph: "b"``/``"e"``, keyed by trace id): the outer slice is
+      the whole submit→terminal lifecycle, nested ``queued`` /
+      ``running`` slices segment it, so queue waits and lease reclaims
+      read directly off the timeline.  Redeliveries re-open ``queued``;
+      annotations (``lease_expired``, ``redelivered``, ``worker_died``,
+      ``recovered``, ``store_hit``) appear as instant markers.
+    * **pid 11, "service occupancy"** — counter tracks ``jobs_queued``
+      and ``jobs_running`` stepped at every segment boundary: worker
+      occupancy over time for the whole batch.
+
+    Wall-clock timestamps are normalised so the earliest span event is
+    ts 0, scaled to microseconds (1 µs trace time = 1 µs wall time).
+    """
+    events: List[dict] = []
+    events.append(_meta(_PID_SERVICE, None, "service jobs"))
+    events.append(_meta(_PID_SERVICE, _TID_EVENTS, "annotations"))
+    all_ts = [e["ts"] for span in spans.values() for e in span["events"]]
+    if not all_ts:
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"source": "service spans", "jobs": 0}}
+    t0 = min(all_ts)
+
+    def us(ts: float) -> float:
+        return round((ts - t0) * 1e6, 3)
+
+    #: (ts, d_queued, d_running) steps for the occupancy counters.
+    steps: List[tuple] = []
+    for job_id, span in spans.items():
+        evs = sorted(span["events"], key=lambda e: e["ts"])
+        trace_id = span.get("trace") or job_id
+        base = {"cat": "service", "id": str(trace_id),
+                "pid": _PID_SERVICE, "tid": 0}
+        first, last = evs[0]["ts"], evs[-1]["ts"]
+        events.append(dict(base, ph="b", ts=us(first), name=job_id,
+                           args={"trace": trace_id}))
+        segment = None   # (name, since_ts) of the open inner slice
+
+        def close_segment(ts: float) -> None:
+            nonlocal segment
+            if segment is None:
+                return
+            name, _ = segment
+            events.append(dict(base, ph="e", ts=us(ts), name=name))
+            steps.append((ts, -1, 0) if name == "queued" else (ts, 0, -1))
+            segment = None
+
+        def open_segment(name: str, ts: float) -> None:
+            nonlocal segment
+            close_segment(ts)
+            events.append(dict(base, ph="b", ts=us(ts), name=name))
+            steps.append((ts, 1, 0) if name == "queued" else (ts, 0, 1))
+            segment = (name, ts)
+
+        for event in evs:
+            kind, ts = event["ev"], event["ts"]
+            if kind == "submitted":
+                open_segment("queued", ts)
+            elif kind == "leased":
+                open_segment("running", ts)
+            elif kind in _INTERRUPTS:
+                close_segment(ts)
+                open_segment("queued", ts)
+            elif kind in _TERMINALS:
+                close_segment(ts)
+            if kind in _INTERRUPTS + ("redelivered", "recovered",
+                                      "store_hit", "worker_died"):
+                args = {"job": job_id}
+                args.update({k: v for k, v in event.items()
+                             if k not in ("ev", "ts")})
+                events.append({"ph": "i", "pid": _PID_SERVICE,
+                               "tid": _TID_EVENTS, "ts": us(ts), "s": "p",
+                               "name": kind, "cat": "annotations",
+                               "args": args})
+        close_segment(last)
+        events.append(dict(base, ph="e", ts=us(last), name=job_id))
+
+    events.append(_meta(_PID_OCCUPANCY, None, "service occupancy"))
+    events.append(_meta(_PID_OCCUPANCY, _TID_EVENTS, "counters"))
+    queued = running = 0
+    steps.sort(key=lambda s: s[0])
+    for ts, d_queued, d_running in steps:
+        queued = max(0, queued + d_queued)
+        running = max(0, running + d_running)
+        events.append({"ph": "C", "pid": _PID_OCCUPANCY,
+                       "tid": _TID_EVENTS, "ts": us(ts),
+                       "name": "jobs_queued", "args": {"jobs": queued}})
+        events.append({"ph": "C", "pid": _PID_OCCUPANCY,
+                       "tid": _TID_EVENTS, "ts": us(ts),
+                       "name": "jobs_running", "args": {"jobs": running}})
+
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"source": "service spans", "jobs": len(spans),
+                          "clock": "1 us trace = 1 us wall",
+                          "t0_unix_s": t0}}
+
+
 def validate_trace(doc: dict) -> List[str]:
     """Schema-check a trace-event document; returns a list of problems
     (empty means valid).  Checks the shape Perfetto actually needs: a

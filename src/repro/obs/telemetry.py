@@ -1,0 +1,482 @@
+"""Service-layer telemetry: metrics registry, per-job spans, JSON logs.
+
+Three primitives, shared by the whole service fabric
+(:mod:`repro.service`):
+
+* **MetricsRegistry** — typed counters, gauges and fixed-bucket latency
+  histograms with *atomic snapshot* semantics (one lock guards the whole
+  registry, so a snapshot is a consistent cut, never a torn read).
+  Snapshots are plain JSON-able dicts; :func:`merge_snapshots` folds the
+  per-worker local registries into one fabric-wide view losslessly
+  (worker snapshots are cumulative, so summing across workers never
+  drops an increment), and :func:`render_prometheus` serialises any
+  snapshot as Prometheus text exposition for ``GET /metrics``.
+
+* **SpanLog** — per-job lifecycle spans.  Every job carries a trace id
+  minted at submit (:func:`new_trace_id`); each fabric component appends
+  timestamped span events (``submitted``, ``journaled``, ``leased``,
+  ``started``, ``store_hit`` | ``simulated``, ``stored``, ``completed``
+  | ``failed`` | ``dead_lettered``, plus lease-expiry / redelivery
+  annotations).  Appending a second *terminal* event to a span is a
+  no-op — that idempotence is what makes crash-recovery replay safe.
+  :func:`fold_spans` rebuilds spans from a journal record stream: the
+  enriched lifecycle records (``submitted``/``leased``/``done``/...
+  carrying ``ts`` and ``trace``) synthesise their span events, dedicated
+  ``span`` records pass through verbatim.
+
+* **JSON line logging** — a stdlib-``logging`` formatter emitting one
+  JSON object per line (``ts``, ``level``, ``logger``, ``event`` plus
+  arbitrary fields such as ``job``/``trace``).  Libraries log through
+  :func:`get_logger`; nothing is emitted until an entry point calls
+  :func:`configure_logging`, so importing the service layer stays
+  silent in tests and notebooks.
+
+None of this touches the simulator: telemetry observes the *service*
+around deterministic simulations, so enabling or disabling it never
+changes a single simulated counter (asserted by
+``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import json
+import logging
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version of the snapshot layout produced by :meth:`MetricsRegistry.snapshot`.
+TELEMETRY_SCHEMA = 1
+
+#: Default latency buckets (seconds) for service histograms: sub-ms
+#: submit paths up through multi-minute simulations.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Span events that end a job's lifecycle — a span holds at most one.
+TERMINAL_SPAN_EVENTS = ("completed", "failed", "dead_lettered")
+
+#: The well-known span event vocabulary (annotations may extend it).
+SPAN_EVENTS = (
+    "submitted", "journaled", "leased", "started", "store_hit",
+    "simulated", "stored", "recovered",
+    "lease_expired", "redelivered", "worker_died", "timeout",
+) + TERMINAL_SPAN_EVENTS
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+# -- instruments ---------------------------------------------------------------
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` under the registry lock."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; merge across workers sums."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative rendering, native counts kept).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  Invariant (tested): ``sum(counts) == count`` — every
+    observation lands in exactly one bucket.
+    """
+
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, lock: threading.Lock,
+                 buckets: Sequence[float]) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self._lock = lock
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+
+class MetricsRegistry:
+    """Named, labelled instruments behind one lock.
+
+    ``counter("repro_jobs_total", "help", status="done")`` returns the
+    (created-on-demand) instrument for that (name, labels) series; a
+    name is permanently typed by its first registration.  ``snapshot()``
+    is an atomic, JSON-able cut of every series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (name, label_key) -> instrument
+        self._series: Dict[Tuple[str, tuple], object] = {}
+        #: name -> ("counter" | "gauge" | "histogram", help)
+        self._families: Dict[str, Tuple[str, str]] = {}
+
+    def _get(self, kind: str, name: str, help_: str, labels: Dict[str, str],
+             factory):
+        key = (name, _label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                self._families[name] = (kind, help_)
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family[0]}")
+            instrument = self._series.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._series[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get("counter", name, help, labels,
+                         lambda: Counter(self._lock))
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, labels,
+                         lambda: Gauge(self._lock))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+                  **labels) -> Histogram:
+        return self._get("histogram", name, help, labels,
+                         lambda: Histogram(self._lock, buckets))
+
+    def snapshot(self) -> dict:
+        """Consistent JSON-able cut of every series (one lock hold)."""
+        with self._lock:
+            series = []
+            for (name, label_key), instrument in self._series.items():
+                kind, help_ = self._families[name]
+                entry = {"name": name, "kind": kind,
+                         "labels": dict(label_key)}
+                if help_:
+                    entry["help"] = help_
+                if kind == "histogram":
+                    entry.update(buckets=list(instrument.buckets),
+                                 counts=list(instrument.counts),
+                                 sum=instrument.sum,
+                                 count=instrument.count)
+                else:
+                    entry["value"] = instrument.value
+                series.append(entry)
+        return {"schema": TELEMETRY_SCHEMA, "series": series}
+
+
+def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Fold registry snapshots into one: counters/gauges sum, histogram
+    bucket counts add elementwise.  Per-worker snapshots are cumulative,
+    so the merge is lossless — no increment is ever dropped, whichever
+    order workers report in."""
+    merged: Dict[Tuple[str, tuple], dict] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for entry in snapshot.get("series", ()):
+            key = (entry["name"], _label_key(entry.get("labels", {})))
+            into = merged.get(key)
+            if into is None:
+                merged[key] = json.loads(json.dumps(entry))  # deep copy
+                continue
+            if into["kind"] != entry["kind"]:
+                raise ValueError(f"metric {entry['name']!r} kind mismatch")
+            if entry["kind"] == "histogram":
+                if list(into["buckets"]) != list(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {entry['name']!r} bucket mismatch")
+                into["counts"] = [a + b for a, b in
+                                  zip(into["counts"], entry["counts"])]
+                into["sum"] += entry["sum"]
+                into["count"] += entry["count"]
+            else:
+                into["value"] += entry["value"]
+            if entry.get("help") and not into.get("help"):
+                into["help"] = entry["help"]
+    return {"schema": TELEMETRY_SCHEMA,
+            "series": [merged[key] for key in sorted(merged)]}
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (format 0.0.4) of one snapshot.
+
+    Histograms render cumulatively (``_bucket{le=...}`` + ``_sum`` +
+    ``_count``); ``HELP``/``TYPE`` headers appear once per family.
+    """
+    by_family: Dict[str, List[dict]] = {}
+    for entry in snapshot.get("series", ()):
+        by_family.setdefault(entry["name"], []).append(entry)
+    lines: List[str] = []
+    for name in sorted(by_family):
+        entries = by_family[name]
+        kind = entries[0]["kind"]
+        help_ = next((e["help"] for e in entries if e.get("help")), "")
+        if help_:
+            lines.append(f"# HELP {name} {_escape(help_)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in sorted(entries,
+                            key=lambda e: _label_key(e.get("labels", {}))):
+            labels = entry.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                        list(entry["buckets"]) + [float("inf")],
+                        entry["counts"]):
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") \
+                        else _fmt_value(bound)
+                    le_label = 'le="%s"' % le
+                    lines.append(f"{name}_bucket"
+                                 f"{_fmt_labels(labels, le_label)} "
+                                 f"{cumulative}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_value(entry['sum'])}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} "
+                             f"{entry['count']}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} "
+                             f"{_fmt_value(entry['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+# -- spans ---------------------------------------------------------------------
+
+_TRACE_NONCE = os.urandom(4).hex()
+_TRACE_COUNTER = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """Cheap process-unique trace id (nonce keeps restarts distinct)."""
+    return f"{_TRACE_NONCE}-{os.getpid():x}-{next(_TRACE_COUNTER):x}"
+
+
+class SpanLog:
+    """Per-job span collector with idempotent terminal events.
+
+    A span is ``{"job", "trace", "events": [{"ev", "ts", ...attrs}]}``.
+    ``append`` returns the event record it stored, or ``None`` when the
+    event was suppressed (a second terminal event on one span) — the
+    caller skips journaling suppressed events, so crash-recovery replay
+    can never double a job's terminal transition.
+    """
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: Dict[str, dict] = {}
+
+    def append(self, job: str, event: str, trace: Optional[str] = None,
+               ts: Optional[float] = None, **attrs) -> Optional[dict]:
+        record = {"ev": event,
+                  "ts": round(self._clock() if ts is None else ts, 6)}
+        if attrs:
+            record.update(attrs)
+        with self._lock:
+            span = self._spans.get(job)
+            if span is None:
+                span = {"job": job, "trace": trace, "events": []}
+                self._spans[job] = span
+            if trace is not None and span.get("trace") is None:
+                span["trace"] = trace
+            if event in TERMINAL_SPAN_EVENTS and self._terminal(span):
+                return None
+            span["events"].append(record)
+        return record
+
+    @staticmethod
+    def _terminal(span: dict) -> bool:
+        return any(e["ev"] in TERMINAL_SPAN_EVENTS for e in span["events"])
+
+    def trace(self, job: str) -> Optional[dict]:
+        """Public view of one span (``complete`` = has a terminal event)."""
+        with self._lock:
+            span = self._spans.get(job)
+            if span is None:
+                return None
+            return {"job": span["job"], "trace": span.get("trace"),
+                    "complete": self._terminal(span),
+                    "events": [dict(e) for e in span["events"]]}
+
+    def spans(self) -> Dict[str, dict]:
+        """Snapshot of every span, in insertion (submission) order."""
+        with self._lock:
+            return {job: {"job": span["job"], "trace": span.get("trace"),
+                          "events": [dict(e) for e in span["events"]]}
+                    for job, span in self._spans.items()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+#: Journal record types that carry span information implicitly.
+_LIFECYCLE_TERMINAL = {"done": "completed", "failed": "failed",
+                       "dead_letter": "dead_lettered"}
+
+
+def fold_spans(records: Iterable[dict],
+               spanlog: Optional[SpanLog] = None) -> SpanLog:
+    """Rebuild per-job spans from a journal record stream.
+
+    Lifecycle records synthesise their span events (a ``submitted``
+    record with ``ts`` yields ``submitted`` + ``journaled``, and for a
+    cache-served submission also ``store_hit`` + ``completed``);
+    dedicated ``span`` records pass through verbatim.  Records without a
+    timestamp (journal schema 1) contribute no span events — old
+    journals stay readable, they just have no span history.
+    """
+    log = spanlog if spanlog is not None else SpanLog()
+    for rec in records:
+        job, ts = rec.get("job"), rec.get("ts")
+        if job is None or ts is None:
+            continue
+        type_ = rec.get("t")
+        trace = rec.get("trace")
+        if type_ == "submitted":
+            log.append(job, "submitted", trace=trace, ts=ts,
+                       priority=rec.get("priority"))
+            log.append(job, "journaled", ts=ts, synthesized=True)
+            if rec.get("cached"):
+                log.append(job, "store_hit", ts=ts, synthesized=True)
+                log.append(job, "completed", ts=ts, cached=True)
+        elif type_ == "leased":
+            log.append(job, "leased", ts=ts, attempt=rec.get("attempt"))
+        elif type_ == "span":
+            ev = rec.get("ev")
+            if ev:
+                attrs = {k: v for k, v in rec.items()
+                         if k not in ("t", "job", "ev", "ts", "trace",
+                                      "seq")}
+                log.append(job, ev, trace=trace, ts=ts, **attrs)
+        elif type_ in _LIFECYCLE_TERMINAL:
+            attrs = {}
+            if rec.get("error") is not None:
+                attrs["error"] = rec.get("error")
+            if rec.get("cached"):
+                attrs["cached"] = True
+            log.append(job, _LIFECYCLE_TERMINAL[type_], ts=ts, **attrs)
+    return log
+
+
+# -- structured logging --------------------------------------------------------
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log line; extra fields ride on ``fields``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {"ts": round(record.created, 6),
+               "level": record.levelname.lower(),
+               "logger": record.name,
+               "event": record.getMessage()}
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                if key not in doc:
+                    doc[key] = value
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+#: Sentinel attribute marking the handler configure_logging installed.
+_HANDLER_FLAG = "_repro_json_handler"
+
+
+def configure_logging(stream=None, level: int = logging.INFO
+                      ) -> logging.Logger:
+    """Attach the JSON line handler to the ``repro`` logger (idempotent).
+
+    Libraries call :func:`get_logger` freely; nothing reaches a stream
+    until an entry point (``repro serve``, tests) calls this.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            if stream is not None:
+                handler.setStream(stream)
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger (``repro.<name>``); silent until configured."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, event: str,
+              level: int = logging.INFO, **fields) -> None:
+    """Emit one structured line: ``event`` plus arbitrary JSON fields
+    (job / trace ids ride here, so every line is greppable by id)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})

@@ -121,6 +121,23 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request(f"/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> dict:
+        """Per-job span: ``{job, trace, complete, events: [...]}``."""
+        return self._request(f"/jobs/{job_id}/trace")
+
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics`` (not JSON)."""
+        req = urllib.request.Request(self.base_url + "/metrics")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except (ValueError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            raise ServiceError(exc.code, body) from None
+
     def jobs(self, status: Optional[str] = None) -> List[dict]:
         path = "/jobs" + (f"?status={status}" if status else "")
         return self._request(path)["jobs"]

@@ -48,6 +48,11 @@ class JobSpec:
     #: seconds before heartbeats start, so the parent's lease provably
     #: expires and the reclaim path redelivers the job.
     test_stall_s: float = 0.0
+    #: Telemetry trace id minted at submit.  Pure observability: it is
+    #: NOT part of :meth:`key`, so traced and untraced submissions of
+    #: the same simulation share one store entry, and old journaled spec
+    #: dicts (which lack the field) still rebuild via ``JobSpec(**d)``.
+    trace_id: Optional[str] = None
 
     @classmethod
     def make(cls, cfg: CoreConfig, profile: WorkloadProfile,
@@ -103,6 +108,20 @@ IN_WORKER = False
 #: runners share it, so the first worker to generate an (app, seed, n)
 #: trace publishes it for the whole fleet.
 TRACE_STORE = None
+
+#: Worker-local metrics registry (obs.telemetry.MetricsRegistry), set by
+#: the pool's worker main when telemetry is enabled.  Cumulative
+#: snapshots ride back on result messages and are merged parent-side —
+#: the registry observes only host-side timing, never simulated state,
+#: so result records stay byte-identical with telemetry on or off.
+TELEMETRY = None
+
+
+def telemetry_snapshot() -> Optional[dict]:
+    """This process's cumulative metrics snapshot (None when disabled)."""
+    if TELEMETRY is None:
+        return None
+    return TELEMETRY.snapshot()
 
 
 def _runner_for(spec: JobSpec):
@@ -210,6 +229,19 @@ def execute_job(spec: JobSpec, attempt: int = 1) -> dict:
         import os
         os._exit(43)
     runner = _runner_for(spec)
-    res = runner.run(spec.core_config(), spec.workload_profile())
+    if TELEMETRY is None:
+        res = runner.run(spec.core_config(), spec.workload_profile())
+    else:
+        import time
+        t0 = time.perf_counter()
+        res = runner.run(spec.core_config(), spec.workload_profile())
+        elapsed = time.perf_counter() - t0
+        TELEMETRY.histogram(
+            "repro_worker_sim_seconds",
+            "Wall time one worker spent simulating a job").observe(elapsed)
+        TELEMETRY.counter(
+            "repro_worker_jobs_total",
+            "Jobs executed by workers, by outcome",
+            outcome="failed" if res.failed else "ok").inc()
     runner.drain()  # failure bookkeeping is per-job, not per-process
     return result_record(res, spec)

@@ -42,13 +42,21 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-#: Version of the on-disk record framing.  Replay treats records from
-#: any other version as corrupt (skipped, never misread).
-JOURNAL_SCHEMA = 1
+#: Version of the on-disk record framing written by this build.
+#: Schema 2 (telemetry plane) added the ``span`` record type and the
+#: ``ts`` / ``trace`` fields on lifecycle records; the framing itself is
+#: unchanged, so v1 journals replay losslessly (they just carry no span
+#: history).  Replay treats records from any *unknown* version as
+#: corrupt (skipped, never misread).
+JOURNAL_SCHEMA = 2
 
-#: Record types a journal append will accept.
+#: Schema versions replay understands (backward-readable set).
+SUPPORTED_SCHEMAS = frozenset((1, 2))
+
+#: Record types a journal append will accept.  ``span`` (schema 2)
+#: persists one per-job telemetry span event with no lifecycle effect.
 RECORD_TYPES = ("submitted", "leased", "heartbeat", "done", "failed",
-                "dead_letter", "drain")
+                "dead_letter", "drain", "span")
 
 #: Job states that end a job's lifecycle.
 TERMINAL_STATES = ("done", "failed", "dead_letter")
@@ -76,7 +84,7 @@ def _unframe(line: bytes) -> Optional[dict]:
         return None
     if not isinstance(envelope, dict):
         return None
-    if envelope.get("schema") != JOURNAL_SCHEMA:
+    if envelope.get("schema") not in SUPPORTED_SCHEMAS:
         return None
     rec = envelope.get("rec")
     if not isinstance(rec, dict) or not isinstance(envelope.get("seq"), int):
@@ -364,6 +372,7 @@ def fold_jobs(records) -> Dict[str, dict]:
                 "priority": rec.get("priority", 100),
                 "attempts": 0, "error": None,
                 "cached": cached,
+                "trace": rec.get("trace"), "ts": rec.get("ts"),
             }
         elif job in jobs:
             state = jobs[job]
@@ -381,5 +390,7 @@ def fold_jobs(records) -> Dict[str, dict]:
             elif type_ == "dead_letter":
                 state["status"] = "dead_letter"
                 state["error"] = rec.get("error")
-            # "heartbeat" renews a lease; it changes no replayed state.
+            # "heartbeat" renews a lease and "span" records telemetry;
+            # neither changes replayed lifecycle state (spans are folded
+            # separately by repro.obs.telemetry.fold_spans).
     return jobs

@@ -50,11 +50,14 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.telemetry import get_logger, log_event
 from repro.service import jobs as jobs_mod
 from repro.service.jobs import JobSpec, execute_job, failure_record
 from repro.service.store import ResultStore
 
 _POISON = None
+
+_LOG = get_logger("service.pool")
 
 
 def _heartbeat_loop(result_q, job_id: int, pid: int, interval: float,
@@ -62,36 +65,56 @@ def _heartbeat_loop(result_q, job_id: int, pid: int, interval: float,
     """Worker-side: renew the parent's lease while a job executes."""
     while not stop.wait(interval):
         try:
-            result_q.put(("hb", job_id, pid, None, None, None))
+            result_q.put(("hb", job_id, pid, None, None, None, None))
         except (OSError, ValueError):
             return
 
 
 def _worker_main(job_q, result_q, trace_dir=None,
-                 heartbeat_s: Optional[float] = None) -> None:
+                 heartbeat_s: Optional[float] = None,
+                 telemetry: bool = False) -> None:
     """Worker loop: execute one spec at a time until the poison pill.
 
     Messages back to the parent are ``(kind, job_id, pid, payload,
-    trace_evictions, trace_store)`` tuples; ``trace_evictions`` is the
-    cumulative eviction count of this process's runners and
-    ``trace_store`` its shared-trace-cache counters (both for
-    ``/stats``).  ``trace_dir`` roots the cross-process
-    :class:`~repro.service.store.TraceStore` so workers share one
-    generation of each synthetic trace.  While a job executes, a
-    heartbeat thread renews the parent's lease every ``heartbeat_s``.
+    trace_evictions, trace_store, telemetry)`` tuples;
+    ``trace_evictions`` is the cumulative eviction count of this
+    process's runners, ``trace_store`` its shared-trace-cache counters
+    (both for ``/stats``) and ``telemetry`` the worker's cumulative
+    metrics-registry snapshot (``None`` unless the pool enabled worker
+    telemetry).  A ``start`` message announces job pickup so the parent
+    can stamp the ``started`` span event.  ``trace_dir`` roots the
+    cross-process :class:`~repro.service.store.TraceStore` so workers
+    share one generation of each synthetic trace.  While a job executes,
+    a heartbeat thread renews the parent's lease every ``heartbeat_s``.
     """
     jobs_mod.IN_WORKER = True
     if trace_dir is not None:
         from repro.service.store import TraceStore
         jobs_mod.TRACE_STORE = TraceStore(trace_dir)
+    if telemetry:
+        from repro.obs.telemetry import MetricsRegistry
+        jobs_mod.TELEMETRY = MetricsRegistry()
     pid = os.getpid()
     while True:
         item = job_q.get()
         if item is _POISON:
             result_q.put(("bye", -1, pid, None, jobs_mod.trace_evictions(),
-                          jobs_mod.trace_store_stats()))
+                          jobs_mod.trace_store_stats(),
+                          jobs_mod.telemetry_snapshot()))
             return
         job_id, spec, attempt = item
+        # The SIGKILL test hook (in jobs.execute_job) exits hard right
+        # after this point.  Announcing pickup first would risk dying
+        # while the queue's feeder thread holds the shared write lock,
+        # wedging every later worker's messages — so a delivery that is
+        # about to die stays silent, exactly like a real crash landing
+        # before any message flushed.
+        will_die = attempt <= int(getattr(spec, "test_kill", 0) or 0)
+        if not will_die:
+            try:
+                result_q.put(("start", job_id, pid, None, None, None, None))
+            except (OSError, ValueError):
+                pass  # parent gone; the job attempt below will fail loudly
         # Chaos/test hook: a first-delivery stall with heartbeats
         # suppressed, so the parent's lease provably expires and the
         # reclaim path redelivers the job.
@@ -108,12 +131,14 @@ def _worker_main(job_q, result_q, trace_dir=None,
             stop_hb.set()
             result_q.put(("done", job_id, pid, record,
                           jobs_mod.trace_evictions(),
-                          jobs_mod.trace_store_stats()))
+                          jobs_mod.trace_store_stats(),
+                          jobs_mod.telemetry_snapshot()))
         except BaseException as exc:  # keep the worker loop alive
             stop_hb.set()
             result_q.put(("error", job_id, pid, repr(exc),
                           jobs_mod.trace_evictions(),
-                          jobs_mod.trace_store_stats()))
+                          jobs_mod.trace_store_stats(),
+                          jobs_mod.telemetry_snapshot()))
 
 
 class SimulationPool:
@@ -127,6 +152,7 @@ class SimulationPool:
                  lease_s: float = 30.0,
                  heartbeat_s: Optional[float] = None,
                  journal=None,
+                 telemetry: bool = False,
                  mp_context: Optional[str] = None) -> None:
         self.n_workers = max(1, n_workers if n_workers is not None
                              else (os.cpu_count() or 1))
@@ -138,6 +164,16 @@ class SimulationPool:
         self.heartbeat_s = (heartbeat_s if heartbeat_s is not None
                             else max(lease_s / 4.0, 0.05))
         self.journal = journal
+        #: Enables worker-local metrics registries (snapshots ride back
+        #: on result messages and merge parent-side, losslessly).
+        self.telemetry = telemetry
+        #: Span-event hook: ``on_event(job_id, event, **attrs)`` fires
+        #: for lifecycle moments only the pool can see (``started``,
+        #: ``simulated``, ``stored``, ``lease_expired``, ``redelivered``,
+        #: ``worker_died``, ``timeout``, ``store_hit``).  The service
+        #: installs a translator that appends them to its SpanLog; a
+        #: raising hook is swallowed — telemetry never breaks dispatch.
+        self.on_event = None
         #: Directory of the shared cross-worker trace cache; riding under
         #: the result store's root keeps one content-addressed tree per
         #: service.  No store -> no sharing (workers regenerate locally).
@@ -170,6 +206,10 @@ class SimulationPool:
         self._evictions_by_pid: Dict[int, int] = {}
         #: pid -> latest shared-trace-cache counters from that worker.
         self._trace_stats_by_pid: Dict[int, dict] = {}
+        #: pid -> latest cumulative metrics snapshot from that worker.
+        #: Snapshots are cumulative per process, so keeping only the
+        #: newest per pid and summing across pids is lossless.
+        self._telemetry_by_pid: Dict[int, dict] = {}
         self.stats: Dict[str, int] = {
             "submitted": 0, "cached": 0, "dispatched": 0, "completed": 0,
             "failed": 0, "timeouts": 0, "worker_deaths": 0,
@@ -192,7 +232,8 @@ class SimulationPool:
         job_q = self._ctx.Queue()
         proc = self._ctx.Process(target=_worker_main,
                                  args=(job_q, self._result_q,
-                                       self._trace_dir, self.heartbeat_s),
+                                       self._trace_dir, self.heartbeat_s,
+                                       self.telemetry),
                                  daemon=True)
         proc.start()
         self._workers[proc.pid] = proc
@@ -277,10 +318,32 @@ class SimulationPool:
         if self.journal is None:
             return
         try:
+            # ``ts`` (schema 2) lets replay rebuild span timelines from
+            # the lifecycle records themselves — no extra appends on the
+            # hot path.
             self.journal.append(type_, job=f"pool-{job_id}",
-                                key=self._keys.get(job_id), **fields)
+                                key=self._keys.get(job_id),
+                                ts=round(time.time(), 6), **fields)
         except OSError:  # journalling must never take down the batch
             pass
+
+    def _emit(self, job_id: int, event: str, **attrs) -> None:
+        """Fire a span event: the ``on_event`` hook (service-side
+        SpanLog) plus, when the pool owns a journal, a durable ``span``
+        record.  Only events with no lifecycle record of their own come
+        through here; terminal transitions are covered by the
+        ``done``/``failed``/``dead_letter`` records."""
+        if self.on_event is not None:
+            try:
+                self.on_event(job_id, event, **attrs)
+            except Exception:
+                pass  # telemetry must never break dispatch
+        if self.journal is not None:
+            try:
+                self.journal.append("span", job=f"pool-{job_id}", ev=event,
+                                    ts=round(time.time(), 6), **attrs)
+            except OSError:
+                pass
 
     # -- submission ------------------------------------------------------------
 
@@ -303,6 +366,8 @@ class SimulationPool:
                 self.stats["cached"] += 1
                 self._journal("submitted", job_id, label=spec.label(),
                               cached=True)
+                if self.on_event is not None:
+                    self._emit(job_id, "store_hit")
                 return job_id
         self._journal("submitted", job_id, label=spec.label())
         self._pending[job_id] = spec
@@ -375,6 +440,15 @@ class SimulationPool:
         snapshot["leases"] = len(self._assigned)
         return snapshot
 
+    def telemetry_snapshots(self) -> List[dict]:
+        """Latest cumulative metrics snapshot per worker process.
+
+        Merge with the parent's registry via
+        :func:`repro.obs.telemetry.merge_snapshots` for a fabric-wide
+        view; snapshots of dead workers are retained, so their final
+        counts are never lost."""
+        return list(self._telemetry_by_pid.values())
+
     # -- the event loop --------------------------------------------------------
 
     def tick(self, block_s: float = 0.05) -> None:
@@ -387,6 +461,8 @@ class SimulationPool:
         self._reap_dead_workers()
         if self._pending and not self._degraded and not self.alive_workers():
             self._degraded = True
+            log_event(_LOG, "pool.degraded",
+                      deaths=self.stats["worker_deaths"])
         if self._degraded:
             self._run_backlog_serially()
         else:
@@ -450,20 +526,25 @@ class SimulationPool:
             except (queue_mod.Empty, OSError, ValueError):
                 return
             block = False  # only block for the first message per tick
-            kind, job_id, pid, payload, evictions, trace_stats = msg
+            kind, job_id, pid, payload, evictions, trace_stats, tel = msg
             if evictions is not None:
                 self._evictions_by_pid[pid] = evictions
             if trace_stats is not None:
                 self._trace_stats_by_pid[pid] = trace_stats
+            if tel is not None:
+                self._telemetry_by_pid[pid] = tel
             if pid in self._assigned:
                 # Any sign of life renews the lease and clears suspicion.
                 self._lease_deadline[pid] = time.monotonic() + self.lease_s
                 self._suspect.pop(pid, None)
             if kind == "hb":
                 self.stats["heartbeats"] += 1
+            elif kind == "start":
+                self._emit(job_id, "started", pid=pid)
             elif kind == "done":
                 self._assigned.pop(pid, None)
                 self._lease_deadline.pop(pid, None)
+                self._emit(job_id, "simulated", pid=pid)
                 self._resolve(job_id, payload)
             elif kind == "error":
                 self._assigned.pop(pid, None)
@@ -490,6 +571,7 @@ class SimulationPool:
             key = self._keys.get(job_id)
             if self.store is not None and key is not None:
                 self.store.put(key, record)
+                self._emit(job_id, "stored")
             self._journal("done", job_id)
 
     def _resolve_cancelled(self, job_id: int) -> None:
@@ -510,11 +592,15 @@ class SimulationPool:
             return
         attempts = self._attempts.get(job_id, 0)
         if attempts > self.max_redeliveries:
+            log_event(_LOG, "pool.dead_letter", job=f"pool-{job_id}",
+                      trace=getattr(spec, "trace_id", None),
+                      attempts=attempts, cause=cause)
             self._resolve(job_id, failure_record(
                 spec, f"dead-lettered after {attempts} deliveries "
                       f"(last: {cause})", status="dead_letter"))
             return
         self.stats["redeliveries"] += 1
+        self._emit(job_id, "redelivered", cause=cause, attempt=attempts)
         self._backlog.insert(0, job_id)
 
     def _enforce_timeouts(self) -> None:
@@ -536,6 +622,7 @@ class SimulationPool:
             spec = self._pending.get(job_id)
             if spec is not None:
                 self.stats["timeouts"] += 1
+                self._emit(job_id, "timeout", limit_s=self.timeout)
                 self._resolve(job_id, failure_record(
                     spec, f"timed out after {self.timeout}s",
                     status="timeout"))
@@ -568,10 +655,13 @@ class SimulationPool:
                 continue
             # Still silent after the grace poll: reclaim.
             self.stats["lease_expired"] += 1
+            log_event(_LOG, "pool.lease_expired", pid=pid,
+                      job=f"pool-{self._assigned[pid][0]}")
             proc.terminate()
             proc.join(timeout=1.0)
             self._retire_worker(pid)
             job_id, _ = self._assigned.pop(pid)
+            self._emit(job_id, "lease_expired", pid=pid)
             self._lease_deadline.pop(pid, None)
             self._suspect.pop(pid, None)
             self._redeliver_or_dead_letter(job_id, "lease expired")
@@ -592,6 +682,8 @@ class SimulationPool:
             if self._closed:
                 continue
             self.stats["worker_deaths"] += 1
+            log_event(_LOG, "pool.worker_died", pid=pid,
+                      deaths=self.stats["worker_deaths"])
             died_with = self._assigned.pop(pid, None)
             self._lease_deadline.pop(pid, None)
             self._suspect.pop(pid, None)
@@ -601,6 +693,7 @@ class SimulationPool:
                 # message flushed.  Redeliver to a fresh worker within
                 # the bounded budget; a repeat offender is poison and
                 # dead-letters instead of killing the whole fleet.
+                self._emit(died_with[0], "worker_died", pid=pid)
                 self._redeliver_or_dead_letter(died_with[0], "worker died")
             self._maybe_respawn()
 

@@ -11,12 +11,18 @@ Endpoints
                           **503** + ``Retry-After`` while draining.
 ``GET /jobs/<id>``        job status: queued | running | done | failed
                           | dead_letter
+``GET /jobs/<id>/trace``  the job's span: trace id + timestamped
+                          lifecycle events (submit → terminal),
+                          surviving crash/restart via the journal
 ``GET /jobs``             list jobs (``?status=`` filters; dead-letter
                           inspection is ``/jobs?status=dead_letter``)
 ``GET /results/<key>``    the raw store record for a result key
 ``GET /healthz``          liveness: ``ok`` | ``draining`` (+ workers)
-``GET /stats``            store/pool/queue/journal counters, jobs by
-                          status, recovery + scrub summaries
+``GET /stats``            versioned (``schema``) snapshot: store, pool
+                          (namespaced), queue, jobs by status, journal,
+                          telemetry, recovery + scrub summaries
+``GET /metrics``          Prometheus text exposition of the fabric-wide
+                          metrics registry (parent + merged workers)
 ``POST /scrub``           integrity walk of the result + trace stores
 
 Submissions land in a bounded **priority queue** (lower number = served
@@ -51,6 +57,10 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.common.params import CoreConfig
+from repro.obs.telemetry import (MetricsRegistry, SpanLog, configure_logging,
+                                 fold_spans, get_logger, log_event,
+                                 merge_snapshots, new_trace_id,
+                                 render_prometheus)
 from repro.service.journal import TERMINAL_STATES, Journal, fold_jobs
 from repro.service.jobs import JobSpec
 from repro.service.pool import SimulationPool
@@ -58,6 +68,14 @@ from repro.service.store import ResultStore
 
 #: Priority used when a submission does not specify one.
 DEFAULT_PRIORITY = 100
+
+#: Version tag of the ``GET /stats`` payload.  Schema 2 namespaced the
+#: pool snapshot (``counters`` / ``trace`` / topology keys) and added
+#: the ``telemetry`` section; ``store``/``queue``/``jobs``/``service``
+#: kept their schema-1 shapes.
+STATS_SCHEMA = 2
+
+_LOG = get_logger("service.server")
 
 #: Hint sent with 429 (queue full) and 503 (draining) responses.
 RETRY_AFTER_S = 2
@@ -146,11 +164,34 @@ class SimulationService:
 
     def __init__(self, pool: SimulationPool, store: ResultStore,
                  max_queue: int = 64,
-                 journal: Optional[Journal] = None) -> None:
+                 journal: Optional[Journal] = None,
+                 telemetry: bool = True) -> None:
         self.pool = pool
         self.store = store
         self.max_queue = max_queue
         self.journal = journal
+        #: Service-side metrics registry + per-job span log.  Telemetry
+        #: is a pure observer of the service fabric: disabling it
+        #: changes no job outcome and no simulation counter (tested).
+        self.telemetry: Optional[MetricsRegistry] = \
+            MetricsRegistry() if telemetry else None
+        self.spans: Optional[SpanLog] = SpanLog() if telemetry else None
+        if telemetry:
+            t = self.telemetry
+            self._m_submitted = t.counter(
+                "repro_jobs_submitted_total", "Jobs accepted at POST /jobs")
+            self._m_cached = t.counter(
+                "repro_jobs_cached_total",
+                "Submissions served instantly from the result store")
+            self._m_queue_wait = t.histogram(
+                "repro_queue_wait_seconds",
+                "Seconds between submit ack and pool lease")
+            self._m_run = t.histogram(
+                "repro_job_run_seconds",
+                "Seconds between pool lease and terminal state")
+            # Span events only the pool can see flow back through this
+            # hook (started / simulated / stored / lease reclaims ...).
+            pool.on_event = self._pool_event
         self.queue: "queue.PriorityQueue[Tuple[int, int, str]]" = \
             queue.PriorityQueue(maxsize=max_queue)
         self._lock = threading.Lock()
@@ -216,6 +257,44 @@ class SimulationService:
         except OSError:  # journalling must never take down the service
             pass
 
+    # -- telemetry -------------------------------------------------------------
+
+    def _span(self, job_id: str, event: str, trace: Optional[str] = None,
+              ts: Optional[float] = None, durable: bool = False,
+              **attrs) -> Optional[dict]:
+        """Append one span event; with ``durable`` also journal it.
+
+        Lifecycle transitions (submitted/leased/terminal) already ride
+        their own journal records — enriched with ``ts``/``trace`` so
+        replay re-synthesises their span events — and must NOT be
+        journaled again here.  ``durable`` is for events with no
+        lifecycle record (``started``, ``stored``, lease annotations).
+        Returns the stored event (``None`` when telemetry is off or a
+        terminal event was deduplicated), so callers can reuse its
+        timestamp for the matching journal record.
+        """
+        if self.spans is None:
+            return None
+        rec = self.spans.append(job_id, event, trace=trace, ts=ts, **attrs)
+        if rec is not None and durable:
+            self._journal_append("span", job=job_id, ev=event,
+                                 ts=rec["ts"], trace=trace, **attrs)
+        return rec
+
+    def _pool_event(self, pool_id: int, event: str, **attrs) -> None:
+        """Translate pool-side span events (pool job id) to service jobs."""
+        job_id = self._pool_ids.get(pool_id)
+        if job_id is None:
+            return
+        self._span(job_id, event, durable=True, **attrs)
+        if self.telemetry is not None and event in (
+                "lease_expired", "redelivered", "worker_died", "timeout"):
+            self.telemetry.counter(
+                "repro_lease_events_total",
+                "Lease reclaims, redeliveries and worker deaths by kind",
+                event=event).inc()
+            log_event(_LOG, f"service.{event}", job=job_id, **attrs)
+
     def recover(self) -> None:
         """Replay the journal: re-register every acknowledged job.
 
@@ -227,7 +306,13 @@ class SimulationService:
         Afterwards the journal is compacted down to the live jobs.
         """
         assert self.journal is not None
-        folded = fold_jobs(self.journal.records())
+        records = list(self.journal.records())
+        folded = fold_jobs(records)
+        if self.spans is not None:
+            # Replay span history first: SpanLog's terminal-event
+            # idempotence then guarantees the store-dedup path below can
+            # never append a *second* terminal event to a replayed span.
+            fold_spans(records, self.spans)
         live: list = []
         for job_id, state in folded.items():
             self.recovery["replayed"] += 1
@@ -264,6 +349,8 @@ class SimulationService:
                 entry["cached"] = True
                 self._jobs[job_id] = entry
                 self.recovery["recovered_done"] += 1
+                self._span(job_id, "completed", trace=state.get("trace"),
+                           cached=True, recovered=True)
                 continue
             if spec is None:
                 entry["status"] = "failed"
@@ -284,9 +371,29 @@ class SimulationService:
                 continue
             self._jobs[job_id] = entry
             self.recovery["requeued"] += 1
+            self._span(job_id, "recovered", trace=state.get("trace"))
             live.append({"t": "submitted", "job": job_id, "key": key,
-                         "spec": spec_dict, "priority": state["priority"]})
+                         "spec": spec_dict, "priority": state["priority"],
+                         "ts": state.get("ts"), "trace": state.get("trace")})
+        if self.spans is not None:
+            # Terminal jobs leave the registry at compaction (the
+            # journal tracks open work), but their spans stay queryable
+            # across restarts: write each one's events back as ``span``
+            # records.  Requeued jobs keep only their ``submitted``
+            # record — their in-flight history is obsolete once they
+            # re-run.
+            requeued = {s["job"] for s in live}
+            for job_id, span in self.spans.spans().items():
+                if job_id in requeued:
+                    continue
+                for event in span["events"]:
+                    attrs = {k: v for k, v in event.items()
+                             if k not in ("ev", "ts")}
+                    live.append({"t": "span", "job": job_id,
+                                 "ev": event["ev"], "ts": event["ts"],
+                                 "trace": span.get("trace"), **attrs})
         self.journal.compact(live)
+        log_event(_LOG, "service.recovered", **self.recovery)
 
     # -- submission (called from HTTP handler threads) -------------------------
 
@@ -296,13 +403,23 @@ class SimulationService:
             raise DrainingError("service is draining; retry against the "
                                 "next instance")
         key = spec.key()
+        traced = self.spans is not None
+        trace = new_trace_id() if traced else None
+        now = round(time.time(), 6)
+        if traced:
+            spec.trace_id = trace
         with self._lock:
             self._seq += 1
             job_id = f"job-{self._seq}"
             entry = {"id": job_id, "status": "queued", "key": key,
                      "core": spec.core.get("name"),
                      "app": spec.profile.get("name"),
-                     "priority": priority, "spec": spec}
+                     "priority": priority, "spec": spec,
+                     "_ts_submitted": now}
+            if traced:
+                entry["trace"] = trace
+            if self.telemetry is not None:
+                self._m_submitted.inc()
             # The get() counts the cache-served submission as a store
             # hit and refreshes the entry's LRU recency; on a miss the
             # pool consults (and counts) the store itself.
@@ -310,23 +427,47 @@ class SimulationService:
                 entry["status"] = "done"
                 entry["cached"] = True
                 self._jobs[job_id] = entry
-                # One record: a cached submission folds straight to done.
+                # One record: a cached submission folds straight to done
+                # — and its ts/trace let replay re-synthesise the whole
+                # four-event span without extra appends on the hot path.
                 self._journal_append("submitted", job=job_id, key=key,
-                                     priority=priority, cached=True)
+                                     priority=priority, cached=True,
+                                     ts=now, trace=trace)
+                self._span(job_id, "submitted", trace=trace, ts=now,
+                           priority=priority)
+                self._span(job_id, "journaled", ts=now)
+                self._span(job_id, "store_hit", ts=now)
+                self._span(job_id, "completed", ts=now, cached=True)
+                if self.telemetry is not None:
+                    self._m_cached.inc()
+                    self.telemetry.counter(
+                        "repro_jobs_terminal_total",
+                        "Jobs reaching a terminal state, by status",
+                        status="done").inc()
                 return self._public(entry)
             self._jobs[job_id] = entry
             # Journal *before* acknowledging: a crash after the 202 can
             # never lose this job.
             self._journal_append("submitted", job=job_id, key=key,
                                  spec=dataclasses.asdict(spec),
-                                 priority=priority)
+                                 priority=priority, ts=now, trace=trace)
+            self._span(job_id, "submitted", trace=trace, ts=now,
+                       priority=priority)
+            self._span(job_id, "journaled")
         try:
             self.queue.put_nowait((priority, self._seq, job_id))
         except queue.Full:
             with self._lock:
                 del self._jobs[job_id]
             self._journal_append("failed", job=job_id,
-                                 error="rejected: queue full")
+                                 error="rejected: queue full",
+                                 ts=round(time.time(), 6))
+            self._span(job_id, "failed", error="rejected: queue full")
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "repro_jobs_terminal_total",
+                    "Jobs reaching a terminal state, by status",
+                    status="failed").inc()
             raise QueueFullError(
                 f"queue full ({self.max_queue} jobs); retry later")
         return self._public(entry)
@@ -344,7 +485,8 @@ class SimulationService:
 
     @staticmethod
     def _public(entry: dict) -> dict:
-        public = {k: v for k, v in entry.items() if k != "spec"}
+        public = {k: v for k, v in entry.items()
+                  if k != "spec" and not k.startswith("_")}
         if entry["status"] in ("done", "failed") and entry.get("key"):
             public["result_url"] = f"/results/{entry['key']}"
         return public
@@ -373,24 +515,101 @@ class SimulationService:
         return report
 
     def stats(self) -> dict:
+        """Versioned stats payload (see :data:`STATS_SCHEMA`).
+
+        Schema 2 folds the pool's flat snapshot into namespaced keys —
+        monotonic ``counters``, the ``trace`` cache section and topology
+        fields (``workers``/``degraded``/``pending``/``leases``) — and
+        adds a ``telemetry`` summary, instead of schema 1's flat merge.
+        """
         with self._lock:
             by_status: Dict[str, int] = {}
             for entry in self._jobs.values():
                 by_status[entry["status"]] = \
                     by_status.get(entry["status"], 0) + 1
+        pool = self.pool.stats_snapshot()
+        pool_ns = {
+            "workers": pool.pop("workers"),
+            "degraded": pool.pop("degraded"),
+            "pending": pool.pop("pending"),
+            "leases": pool.pop("leases"),
+            "trace": {"evictions": pool.pop("trace_evictions"),
+                      "store": pool.pop("trace_store")},
+            "counters": pool,
+        }
         stats = {
+            "schema": STATS_SCHEMA,
             "store": self.store.stats_snapshot(),
-            "pool": self.pool.stats_snapshot(),
+            "pool": pool_ns,
             "queue": {"depth": self.queue.qsize(), "max": self.max_queue},
             "jobs": by_status,
             "service": {"draining": self._draining,
                         "recovery": dict(self.recovery)},
+            "telemetry": {"enabled": self.telemetry is not None},
         }
+        if self.telemetry is not None:
+            stats["telemetry"].update(
+                spans=len(self.spans),
+                workers_reporting=len(self.pool.telemetry_snapshots()))
         if self.journal is not None:
             stats["journal"] = self.journal.stats_snapshot()
         if self.scrub_report is not None:
             stats["scrub"] = self.scrub_report
         return stats
+
+    def metrics_text(self) -> Optional[str]:
+        """Prometheus text exposition of the whole fabric, or ``None``
+        when telemetry is disabled.
+
+        Scrape-time state lands in gauges (queue depth, leases, worker
+        count, gauge mirrors of the store/pool/journal counter dicts);
+        the per-worker registries merge in losslessly, so worker-side
+        series (``repro_worker_sim_seconds`` ...) cover every worker
+        that ever reported, dead ones included.
+        """
+        if self.telemetry is None:
+            return None
+        t = self.telemetry
+        t.gauge("repro_queue_depth",
+                "Jobs waiting in the submission queue").set(
+            self.queue.qsize())
+        t.gauge("repro_jobs_inflight",
+                "Jobs leased to the pool, not yet terminal").set(
+            len(self._pool_ids))
+        t.gauge("repro_workers_alive",
+                "Live pool worker processes").set(
+            self.pool.alive_workers())
+        t.gauge("repro_service_draining",
+                "1 while draining, else 0").set(
+            1.0 if self._draining else 0.0)
+        t.gauge("repro_spans_tracked",
+                "Jobs with an in-memory span").set(len(self.spans))
+        mirrors = [("store", self.store.stats_snapshot()),
+                   ("pool", self.pool.stats_snapshot())]
+        if self.journal is not None:
+            mirrors.append(("journal", self.journal.stats_snapshot()))
+        for prefix, snapshot in mirrors:
+            for name, value in sorted(snapshot.items()):
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                t.gauge(f"repro_{prefix}_{name}",
+                        f"Gauge mirror of the {prefix} counter "
+                        f"{name!r}").set(value)
+        merged = merge_snapshots([t.snapshot()]
+                                 + self.pool.telemetry_snapshots())
+        return render_prometheus(merged)
+
+    def job_trace(self, job_id: str) -> Optional[dict]:
+        """The span of one job (``GET /jobs/<id>/trace``), or ``None``.
+
+        Served from the SpanLog, not the job registry: spans of jobs
+        compacted out of the registry (terminal before a restart) stay
+        queryable.
+        """
+        if self.spans is None:
+            return None
+        return self.spans.trace(job_id)
 
     # -- dispatcher ------------------------------------------------------------
 
@@ -411,9 +630,19 @@ class SimulationService:
                             entry["status"] = "running"
                             pool_id = self.pool.submit(entry["spec"])
                             self._pool_ids[pool_id] = job_id
+                            now = round(time.time(), 6)
+                            entry["_ts_leased"] = now
                             self._journal_append(
-                                "leased", job=job_id,
+                                "leased", job=job_id, ts=now,
                                 attempt=self.pool.attempts(pool_id) or 1)
+                            self._span(job_id, "leased", ts=now,
+                                       attempt=self.pool.attempts(pool_id)
+                                       or 1)
+                            if self.telemetry is not None:
+                                submitted = entry.get("_ts_submitted")
+                                if submitted is not None:
+                                    self._m_queue_wait.observe(
+                                        max(0.0, now - submitted))
             self.pool.tick(block_s=0.0 if moved else 0.05)
             self._collect()
             self._heartbeat_journal()
@@ -442,19 +671,37 @@ class SimulationService:
                 entry = self._jobs.get(job_id)
                 if entry is None:
                     continue
+                now = round(time.time(), 6)
                 if record.get("status") == "dead_letter":
                     entry["status"] = "dead_letter"
                     entry["error"] = record.get("error")
-                    self._journal_append("dead_letter", job=job_id,
+                    self._journal_append("dead_letter", job=job_id, ts=now,
                                          error=record.get("error"))
+                    self._span(job_id, "dead_lettered", ts=now,
+                               error=record.get("error"))
                 elif record.get("failed"):
                     entry["status"] = "failed"
                     entry["error"] = record.get("error")
-                    self._journal_append("failed", job=job_id,
+                    self._journal_append("failed", job=job_id, ts=now,
                                          error=record.get("error"))
+                    self._span(job_id, "failed", ts=now,
+                               error=record.get("error"))
                 else:
                     entry["status"] = "done"
-                    self._journal_append("done", job=job_id)
+                    self._journal_append("done", job=job_id, ts=now)
+                    self._span(job_id, "completed", ts=now)
+                if self.telemetry is not None:
+                    self.telemetry.counter(
+                        "repro_jobs_terminal_total",
+                        "Jobs reaching a terminal state, by status",
+                        status=entry["status"]).inc()
+                    leased = entry.get("_ts_leased")
+                    if leased is not None:
+                        self._m_run.observe(max(0.0, now - leased))
+                    log_event(_LOG, "service.terminal", job=job_id,
+                              trace=entry.get("trace"),
+                              status=entry["status"],
+                              error=entry.get("error"))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -463,11 +710,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- helpers ---------------------------------------------------------------
 
-    def _send(self, code: int, payload, headers: Optional[dict] = None) -> None:
+    def _send(self, code: int, payload, headers: Optional[dict] = None,
+              content_type: str = "application/json") -> None:
         body = payload if isinstance(payload, bytes) else \
             (json.dumps(payload, sort_keys=True) + "\n").encode()
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -487,12 +735,30 @@ class _Handler(BaseHTTPRequestHandler):
                              "workers": service.pool.alive_workers()})
         elif self.path == "/stats":
             self._send(200, service.stats())
+        elif self.path == "/metrics":
+            text = service.metrics_text()
+            if text is None:
+                self._send(404, {"error": "telemetry is disabled"})
+            else:
+                self._send(200, text.encode(),
+                           content_type="text/plain; version=0.0.4; "
+                                        "charset=utf-8")
         elif self.path == "/jobs" or self.path.startswith("/jobs?"):
             status = None
             match = re.fullmatch(r"/jobs\?status=([a-z_]+)", self.path)
             if match:
                 status = match.group(1)
             self._send(200, {"jobs": service.jobs_snapshot(status)})
+        elif self.path.startswith("/jobs/") and self.path.endswith("/trace"):
+            job_id = self.path[len("/jobs/"):-len("/trace")]
+            if service.spans is None:
+                self._send(404, {"error": "telemetry is disabled"})
+                return
+            trace = service.job_trace(job_id)
+            if trace is None:
+                self._send(404, {"error": "no trace for that job"})
+            else:
+                self._send(200, trace)
         elif self.path.startswith("/jobs/"):
             job = service.job(self.path[len("/jobs/"):])
             if job is None:
@@ -565,7 +831,8 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
                   max_queue: int = 64,
                   timeout: Optional[float] = None,
                   max_store_entries: Optional[int] = None,
-                  journal_sync: Optional[str] = "batch"):
+                  journal_sync: Optional[str] = "batch",
+                  telemetry: bool = True):
     """Build (but do not start serving) the HTTP service.
 
     Returns ``(httpd, service)``; callers run ``httpd.serve_forever()``
@@ -573,15 +840,18 @@ def create_server(host: str = "127.0.0.1", port: int = 0,
     write-ahead journal lives under ``<store_dir>/journal`` with the
     given fsync policy (``always`` | ``batch`` | ``off``); pass
     ``journal_sync=None`` to run without one (volatile job state, as
-    before the journal existed).
+    before the journal existed).  ``telemetry=False`` turns off the
+    metrics registry, spans and ``/metrics``; results are byte-identical
+    either way (telemetry observes the fabric, never the simulation).
     """
     store = ResultStore(store_dir, max_entries=max_store_entries)
     journal = None
     if journal_sync not in (None, "none"):
         journal = Journal(Path(store_dir) / "journal", sync=journal_sync)
-    pool = SimulationPool(n_workers=workers, store=store, timeout=timeout)
+    pool = SimulationPool(n_workers=workers, store=store, timeout=timeout,
+                          telemetry=telemetry)
     service = SimulationService(pool, store, max_queue=max_queue,
-                                journal=journal)
+                                journal=journal, telemetry=telemetry)
     handler = type("Handler", (_Handler,), {"service": service})
     httpd = ThreadingHTTPServer((host, port), handler)
     httpd.daemon_threads = True
@@ -593,37 +863,68 @@ def serve(host: str, port: int, workers: Optional[int], store_dir: str,
           max_queue: int, timeout: Optional[float],
           drain_timeout_s: float = 30.0,
           journal_sync: Optional[str] = "batch",
+          telemetry: bool = True,
+          stats_interval: Optional[float] = None,
           echo=print) -> int:
     """Blocking entry point behind ``python -m repro serve``.
 
     SIGTERM/SIGINT start a graceful drain: submissions get 503 +
     ``Retry-After``, leased jobs finish (up to ``drain_timeout_s``), the
     queued remainder stays journaled for the next start, and the process
-    exits 0.
+    exits 0.  Service lifecycle events additionally land on stderr as
+    JSON log lines (one object per line, job/trace ids attached); with
+    ``stats_interval`` a background thread logs a ``service.stats``
+    metrics line every that-many seconds.
     """
+    configure_logging()
     httpd, service = create_server(host=host, port=port, workers=workers,
                                    store_dir=store_dir, max_queue=max_queue,
-                                   timeout=timeout, journal_sync=journal_sync)
+                                   timeout=timeout, journal_sync=journal_sync,
+                                   telemetry=telemetry)
     bound = httpd.server_address
     recovered = service.recovery
     echo(f"simulation service on http://{bound[0]}:{bound[1]} "
          f"({service.pool.n_workers} worker(s), store {store_dir}, "
          f"queue {max_queue}, journal "
-         f"{journal_sync if service.journal else 'off'})")
+         f"{journal_sync if service.journal else 'off'}, telemetry "
+         f"{'on' if telemetry else 'off'})")
+    log_event(_LOG, "service.started", host=bound[0], port=bound[1],
+              workers=service.pool.n_workers, store=store_dir,
+              telemetry=telemetry)
     if recovered["replayed"]:
         echo(f"recovered {recovered['replayed']} journaled job(s): "
              f"{recovered['recovered_done']} already done, "
              f"{recovered['requeued']} re-queued, "
              f"{recovered['lost']} lost")
 
+    stats_stop = threading.Event()
+    if stats_interval:
+        def _stats_loop():
+            while not stats_stop.wait(stats_interval):
+                snapshot = service.stats()
+                log_event(_LOG, "service.stats",
+                          queue_depth=snapshot["queue"]["depth"],
+                          jobs=snapshot["jobs"],
+                          pool=snapshot["pool"]["counters"],
+                          store_hits=snapshot["store"].get("hits"),
+                          store_misses=snapshot["store"].get("misses"),
+                          workers=snapshot["pool"]["workers"])
+
+        threading.Thread(target=_stats_loop, name="stats-logger",
+                         daemon=True).start()
+
     def _drain_and_stop(signum, frame):
         echo(f"signal {signum}: draining (timeout {drain_timeout_s}s)")
+        log_event(_LOG, "service.draining", signum=signum,
+                  timeout_s=drain_timeout_s)
         service.begin_drain()
 
         def _finish():
             clean = service.drain(timeout_s=drain_timeout_s)
             echo("drain complete" if clean
                  else "drain timed out; queued work stays journaled")
+            log_event(_LOG, "service.drained", clean=clean)
+            stats_stop.set()
             httpd.shutdown()
 
         threading.Thread(target=_finish, daemon=True).start()
@@ -638,6 +939,7 @@ def serve(host: str, port: int, workers: Optional[int], store_dir: str,
     except KeyboardInterrupt:
         echo("shutting down")
     finally:
+        stats_stop.set()
         service.stop()
         httpd.server_close()
     return 0

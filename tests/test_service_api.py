@@ -80,13 +80,41 @@ class TestLifecycle:
 
     def test_stats_shape(self, service):
         stats = service.stats()
-        for section in ("store", "pool", "queue", "jobs"):
+        assert stats["schema"] == 2
+        for section in ("store", "pool", "queue", "jobs", "telemetry"):
             assert section in stats
         assert stats["queue"]["max"] == 16
         for counter in ("hits", "misses", "writes", "evictions",
                         "quarantined", "entries"):
             assert counter in stats["store"]
-        assert "trace_evictions" in stats["pool"]
+        # pool state is namespaced: counters / trace / workers / leases
+        pool = stats["pool"]
+        for key in ("counters", "trace", "workers", "degraded",
+                    "pending", "leases"):
+            assert key in pool
+        assert "evictions" in pool["trace"]
+        assert stats["telemetry"]["enabled"] is True
+        assert stats["telemetry"]["spans"] >= 1
+
+    def test_metrics_endpoint(self, service):
+        text = service.metrics()
+        assert text.startswith("# HELP")
+        assert "repro_jobs_submitted_total" in text
+        assert "repro_queue_depth" in text
+
+    def test_job_trace_endpoint(self, service):
+        (entry, ) = service.submit(_job())   # cache-served by now
+        span = service.trace(entry["id"])
+        assert span["complete"] is True
+        assert span["trace"]
+        events = [e["ev"] for e in span["events"]]
+        assert events[0] == "submitted"
+        assert events[-1] == "completed"
+
+    def test_job_trace_unknown_job(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.trace("job-nope")
+        assert exc.value.status == 404
 
 
 class TestValidation:
