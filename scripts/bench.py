@@ -259,6 +259,170 @@ def bench_telemetry_submit(repeats: int, jobs: int = 250) -> dict:
             "telemetry_overhead": best_on / best_off - 1.0}
 
 
+def _hist_quantile(buckets, counts, q: float) -> float:
+    """Linear-interpolated quantile from fixed histogram buckets."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for index, count in enumerate(counts):
+        upper = (buckets[index] if index < len(buckets)
+                 else buckets[-1])
+        if count and cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            return lower + fraction * (upper - lower)
+        cumulative += count
+        lower = upper
+    return buckets[-1]
+
+
+def _queue_wait_counts(service) -> list:
+    for series in service.telemetry.snapshot()["series"]:
+        if series["name"] == "repro_queue_wait_seconds":
+            return list(series["counts"]), list(series["buckets"])
+    return [], []
+
+
+def bench_cluster_throughput(repeats: int, nodes: int = 2,
+                             node_workers: int = 1,
+                             jobs: int = 16) -> dict:
+    """Cluster throughput under closed-loop load vs a single pool.
+
+    Baseline: the same cache-miss batch through one local
+    ``SimulationPool`` sized like one node.  Cluster: a coordinator +
+    ``nodes`` real node processes, driven over HTTP by closed-loop
+    client threads at swept concurrency (each submits, long-polls to
+    completion, submits the next).  Queue-wait p50/p95 come from the
+    coordinator's ``repro_queue_wait_seconds`` histogram, diffed per
+    leg.
+
+    Workload: with fewer host cores than ``nodes x node_workers + 1``
+    (this 1-CPU container), pure-CPU jobs cannot show cluster scaling —
+    every simulator would share one core.  There the jobs carry a small
+    ``test_stall_s`` sleep (first-delivery only, not part of the result
+    key) modelling each node's independent compute capacity, and the
+    entry self-describes via ``workload``.  On real multi-core hosts
+    the sweep runs pure-CPU automatically.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.service.chaos import ClusterChaosFabric
+    from repro.service.client import ServiceClient
+    from repro.service.jobs import JobSpec
+    from repro.service.pool import SimulationPool
+    from repro.service.store import ResultStore
+
+    cores = os.cpu_count() or 1
+    stall_s = 0.0 if cores >= nodes * node_workers + 1 else 0.45
+    workload = ("cpu" if stall_s == 0.0
+                else f"stall-augmented ({stall_s:g}s/job)")
+    profile = get_profile("hmmer")
+    cfg = _CORES["ino"]()
+
+    leg_seq = iter(range(10_000))
+
+    def batch():
+        # Distinct n_instrs per job and leg: every submission is a
+        # genuine cache miss, never served from the store.  Tags are
+        # sequential so all legs stay in one narrow n_instrs band and
+        # per-job simulation cost is comparable across legs.
+        tag = next(leg_seq)
+        return [JobSpec.make(cfg, profile,
+                             n_instrs=900 + tag * jobs + i,
+                             warmup=200, test_stall_s=stall_s)
+                for i in range(jobs)]
+
+    base_times = []
+    with tempfile.TemporaryDirectory() as tmp:
+        with SimulationPool(n_workers=node_workers,
+                            store=ResultStore(tmp)) as pool:
+            for rep in range(repeats):
+                specs = batch()
+                start = time.perf_counter()
+                records = pool.run_batch(specs)
+                base_times.append(time.perf_counter() - start)
+                assert not any(r["failed"] for r in records)
+    base_s = min(base_times)
+    base_jps = jobs / base_s
+
+    sweep = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        fabric = ClusterChaosFabric(tmp, node_workers=node_workers)
+        fabric.start()
+        try:
+            for _ in range(nodes):
+                fabric.spawn_node()
+            fabric.wait_nodes_alive(nodes)
+            for conc in (2, 8):
+                leg_times = []
+                p50 = p95 = 0.0
+                for rep in range(repeats):
+                    specs = batch()
+                    before, _ = _queue_wait_counts(fabric.service)
+                    shares = [specs[c::conc] for c in range(conc)]
+                    errors = []
+
+                    def drive(share):
+                        client = ServiceClient(fabric.url, timeout=60)
+                        try:
+                            for spec in share:  # closed loop
+                                body = {
+                                    "core": "ino", "app": "hmmer",
+                                    "n": spec.n_instrs,
+                                    "warmup": spec.warmup,
+                                    "test_stall_s": spec.test_stall_s,
+                                }
+                                (entry, ) = client.submit(
+                                    body, retries_on_busy=8,
+                                    deadline_s=120)
+                                final = client.wait(
+                                    [entry["id"]], timeout_s=120,
+                                    long_poll_s=10.0)[entry["id"]]
+                                if final["status"] != "done":
+                                    errors.append(final)
+                        except Exception as exc:  # surfaced below
+                            errors.append(exc)
+                        finally:
+                            client.close()
+
+                    threads = [threading.Thread(target=drive, args=(s, ))
+                               for s in shares if s]
+                    start = time.perf_counter()
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    leg_times.append(time.perf_counter() - start)
+                    assert not errors, errors[:2]
+                    after, buckets = _queue_wait_counts(fabric.service)
+                    delta = [b - a for a, b in zip(before, after)]
+                    p50 = _hist_quantile(buckets, delta, 0.50)
+                    p95 = _hist_quantile(buckets, delta, 0.95)
+                best = min(leg_times)
+                sweep[str(conc)] = {
+                    "clients": conc, "wall_s": best,
+                    "jobs_per_s": jobs / best,
+                    "queue_wait_p50_s": p50,
+                    "queue_wait_p95_s": p95,
+                }
+        finally:
+            fabric.stop()
+
+    cluster_jps = max(leg["jobs_per_s"] for leg in sweep.values())
+    return {"nodes": nodes, "node_workers": node_workers, "jobs": jobs,
+            "repeats": repeats, "workload": workload,
+            "host_cores": cores,
+            "single_pool_s": base_s,
+            "single_pool_jobs_per_s": base_jps,
+            "concurrency": sweep,
+            "cluster_jobs_per_s": cluster_jps,
+            "cluster_speedup": cluster_jps / base_jps}
+
+
 def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
     calibration = calibrate()
     results = {}
@@ -300,6 +464,17 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
           f"telemetry-on ({tel_entry['telemetry_on_s']:.3f}s vs "
           f"{tel_entry['telemetry_off_s']:.3f}s telemetry-off, "
           f"overhead {tel_entry['telemetry_overhead']:+.1%})")
+    cluster_entry = bench_cluster_throughput(min(repeats, 3))
+    results["service/cluster"] = cluster_entry
+    busiest = max(cluster_entry["concurrency"].values(),
+                  key=lambda leg: leg["jobs_per_s"])
+    print(f"  service/cluster: {cluster_entry['cluster_jobs_per_s']:.1f} "
+          f"jobs/s over {cluster_entry['nodes']} nodes "
+          f"({cluster_entry['cluster_speedup']:.2f}x single pool, "
+          f"{cluster_entry['workload']}; queue wait "
+          f"p50 {busiest['queue_wait_p50_s']:.3f}s / "
+          f"p95 {busiest['queue_wait_p95_s']:.3f}s at "
+          f"{busiest['clients']} clients)")
     return {
         "manifest": {
             "git_rev": git_rev(),
@@ -404,6 +579,26 @@ def check_telemetry_overhead(report: dict, max_overhead: float) -> int:
     return 0
 
 
+def check_cluster_speedup(report: dict, min_speedup: float) -> int:
+    """Exit status: 1 when two cluster nodes fail to beat a single
+    node-sized pool by ``min_speedup`` on cache-miss work
+    (self-relative: both legs ran on this host in this invocation)."""
+    entry = report["results"].get("service/cluster")
+    if entry is None or "cluster_speedup" not in entry:
+        return 0
+    speedup = entry["cluster_speedup"]
+    verdict = "ok" if speedup >= min_speedup else "TOO SLOW"
+    print(f"  service/cluster: {entry['nodes']}-node speedup "
+          f"{speedup:.2f}x over single pool "
+          f"(min {min_speedup:.2f}x, {entry['workload']}, {verdict})")
+    if speedup < min_speedup:
+        print(f"\nFAIL: {entry['nodes']}-node cluster is only "
+              f"{speedup:.2f}x a single pool (< {min_speedup:.2f}x)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="host-side simulator benchmark with regression gate")
@@ -436,6 +631,10 @@ def main(argv=None) -> int:
                         help="--check also fails when telemetry-on "
                              "cached-submit throughput trails "
                              "telemetry-off by more than this fraction")
+    parser.add_argument("--min-cluster-speedup", type=float, default=1.7,
+                        help="--check also fails when a two-node cluster "
+                             "does not beat a single node-sized pool by "
+                             "this factor on cache-miss workloads")
     args = parser.parse_args(argv)
 
     n_instrs = args.n if args.n is not None else (3_000 if args.quick
@@ -459,8 +658,10 @@ def main(argv=None) -> int:
         status = check_fastforward(report, args.min_ff_speedup) or status
         status = check_journal_overhead(report,
                                         args.max_journal_overhead) or status
-        return check_telemetry_overhead(report,
-                                        args.max_telemetry_overhead) or status
+        status = check_telemetry_overhead(
+            report, args.max_telemetry_overhead) or status
+        return check_cluster_speedup(report,
+                                     args.min_cluster_speedup) or status
     return 0
 
 

@@ -449,13 +449,32 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    journal_sync = None if args.journal == "none" else args.journal
+    if args.role == "coordinator":
+        from repro.service.cluster.frontdoor import serve_coordinator
+        return serve_coordinator(host=args.host, port=args.port,
+                                 store_dir=args.store,
+                                 max_queue=args.queue_size,
+                                 journal_sync=journal_sync,
+                                 telemetry=not args.no_telemetry,
+                                 suspect_after_s=args.suspect_after,
+                                 dead_after_s=args.dead_after,
+                                 drain_timeout_s=args.drain_timeout)
+    if args.role == "node":
+        if not args.coordinator:
+            print("error: --role node requires --coordinator URL",
+                  file=sys.stderr)
+            return 2
+        from repro.service.cluster.node import run_node
+        run_node(args.coordinator, args.store, node_id=args.node_id,
+                 workers=args.workers or 1, job_timeout_s=args.timeout)
+        return 0
     from repro.service.server import serve
     return serve(host=args.host, port=args.port, workers=args.workers,
                  store_dir=args.store, max_queue=args.queue_size,
                  timeout=args.timeout,
                  drain_timeout_s=args.drain_timeout,
-                 journal_sync=None if args.journal == "none"
-                 else args.journal,
+                 journal_sync=journal_sync,
                  telemetry=not args.no_telemetry,
                  stats_interval=args.stats_interval)
 
@@ -666,6 +685,27 @@ def main(argv=None) -> int:
 
     serve_p = sub.add_parser(
         "serve", help="run the simulation service (HTTP JSON API)")
+    serve_p.add_argument("--role", choices=["single", "coordinator", "node"],
+                         default="single",
+                         help="'single' = self-contained service (default); "
+                              "'coordinator' = cluster front door + job "
+                              "registry (no local workers); 'node' = worker "
+                              "agent pulling leases from --coordinator")
+    serve_p.add_argument("--coordinator", metavar="URL", default=None,
+                         help="coordinator base URL (required for "
+                              "--role node)")
+    serve_p.add_argument("--node-id", default=None,
+                         help="stable node identity (default: "
+                              "node-<hostname>-<pid>)")
+    serve_p.add_argument("--suspect-after", type=float, default=5.0,
+                         metavar="S",
+                         help="coordinator marks a silent node 'suspect' "
+                              "after S seconds without a heartbeat")
+    serve_p.add_argument("--dead-after", type=float, default=15.0,
+                         metavar="S",
+                         help="coordinator declares a silent node dead "
+                              "after S seconds (leases reclaimed and "
+                              "redelivered)")
     serve_p.add_argument("--host", default="127.0.0.1")
     serve_p.add_argument("--port", type=int, default=8642)
     serve_p.add_argument("--workers", type=int, default=None,

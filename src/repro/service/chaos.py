@@ -27,9 +27,11 @@ kernel, hence a process kill loses nothing already acknowledged).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import random
 import signal
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -199,6 +201,217 @@ class ChaosFabric:
         data[offset] ^= 1 << self.rng.randrange(8)
         path.write_bytes(bytes(data))
         return key
+
+
+# -- cluster fabric ------------------------------------------------------------
+
+
+def _node_main(coordinator_url: str, store_dir: str, node_id: str,
+               workers: int, heartbeat_s: float,
+               close_fds: Sequence[int] = ()) -> None:
+    """Entry point of one worker-node *process* (its own process group,
+    so a SIGKILL aimed at the node takes its pool workers down too —
+    the honest node-death model: nothing on that host survives).
+
+    ``close_fds`` are file descriptors inherited across the fork that
+    the node must not hold — above all the coordinator's *listening*
+    socket, which would otherwise keep the port bound after a
+    coordinator crash and block the same-port restart."""
+    os.setpgrp()
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    from repro.service.cluster.node import run_node
+    run_node(coordinator_url, store_dir, node_id=node_id, workers=workers,
+             heartbeat_s=heartbeat_s)
+
+
+class ClusterChaosFabric:
+    """A restartable coordinator + real node processes on one directory.
+
+    The coordinator (state machine + asyncio front door) runs in-process
+    so tests can crash it surgically and reach into its registry; nodes
+    are genuine OS processes wrapping real pools, killed with
+    ``SIGKILL`` to the whole process group.  The port is pinned after
+    the first ``start()`` so a coordinator restart reuses the same
+    address and live nodes reconnect on their own.
+    """
+
+    def __init__(self, root, seed: int = 0,
+                 node_workers: int = 1,
+                 suspect_after_s: float = 0.6,
+                 dead_after_s: float = 1.2,
+                 heartbeat_s: float = 0.15,
+                 max_queue: int = 256,
+                 journal_sync: str = "always") -> None:
+        self.root = Path(root)
+        self.rng = random.Random(seed)
+        self.node_workers = node_workers
+        self.suspect_after_s = suspect_after_s
+        self.dead_after_s = dead_after_s
+        self.heartbeat_s = heartbeat_s
+        self.max_queue = max_queue
+        self.journal_sync = journal_sync
+        self.generation = 0
+        self.port = 0  # pinned after the first start()
+        self.store: Optional[ResultStore] = None
+        self.service = None
+        self.door = None
+        # fork, not spawn: spawn re-imports the caller's __main__ (hostile
+        # under pytest), and the pool already forks under threaded parents.
+        self._ctx = multiprocessing.get_context("fork")
+        self.nodes: Dict[str, multiprocessing.Process] = {}
+        self._node_seq = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        assert self.service is None, "coordinator already running"
+        from repro.service.cluster.frontdoor import create_coordinator
+        self.generation += 1
+        self.door, self.service = create_coordinator(
+            port=self.port, store_dir=str(self.root / "coord"),
+            max_queue=self.max_queue, journal_sync=self.journal_sync,
+            suspect_after_s=self.suspect_after_s,
+            dead_after_s=self.dead_after_s)
+        self.store = self.service.store
+        self.service.start()
+        self.door.start()
+        self.port = self.door.port
+        return self.service
+
+    def crash(self) -> None:
+        """Coordinator SIGKILL model: front door gone mid-connection,
+        journal abandoned un-flushed, node processes left running."""
+        door, self.door = self.door, None
+        service, self.service = self.service, None
+        if door is not None:
+            door.stop()
+        if service is not None and service.journal is not None:
+            service.journal._fh = None  # abandoned, never closed
+        self._crashed_service = service
+
+    def restart(self):
+        self.crash()
+        return self.start()
+
+    def stop(self) -> None:
+        for node_id in list(self.nodes):
+            self.stop_node(node_id)
+        door, self.door = self.door, None
+        service, self.service = self.service, None
+        if service is not None:
+            service.begin_drain()
+        if door is not None:
+            door.stop()
+        if service is not None:
+            service.stop()
+
+    # -- nodes -----------------------------------------------------------------
+
+    def spawn_node(self, node_id: Optional[str] = None,
+                   workers: Optional[int] = None) -> str:
+        self._node_seq += 1
+        node_id = node_id or f"chaos-node-{self._node_seq}"
+        listen_fds = []
+        if self.door is not None and self.door._server is not None:
+            listen_fds = [s.fileno() for s in self.door._server.sockets]
+        proc = self._ctx.Process(
+            target=_node_main,
+            args=(self.url, str(self.root / node_id), node_id,
+                  workers or self.node_workers, self.heartbeat_s,
+                  listen_fds),
+            daemon=False)  # daemonic processes cannot fork pool workers
+        proc.start()
+        self.nodes[node_id] = proc
+        return node_id
+
+    def wait_nodes_alive(self, n: int, timeout_s: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            roster = self.service.roster() if self.service else []
+            if sum(1 for e in roster if e["state"] == "alive") >= n:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"only {len(roster)} node(s) registered after "
+                    f"{timeout_s}s (wanted {n})")
+            time.sleep(0.05)
+
+    def kill_busy_node(self, timeout_s: float = 30.0) -> str:
+        """Wait until some node provably holds a lease, then SIGKILL it
+        — guarantees the kill costs a delivery (the reclaim/redelivery
+        path must run for the batch to finish)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            busy = sorted(e["node"] for e in self.service.roster()
+                          if e["leased"] > 0 and e["node"] in self.nodes
+                          and self.nodes[e["node"]].is_alive())
+            if busy:
+                return self.kill_node(self.rng.choice(busy))
+            if time.monotonic() > deadline:
+                raise TimeoutError("no node ever held a lease")
+            time.sleep(0.02)
+
+    def kill_node(self, node_id: Optional[str] = None) -> str:
+        """SIGKILL one node's whole process group (agent + pool
+        workers); the coordinator only learns via missed heartbeats."""
+        live = sorted(nid for nid, proc in self.nodes.items()
+                      if proc.is_alive())
+        assert live, "no live node to kill"
+        node_id = node_id or self.rng.choice(live)
+        proc = self.nodes[node_id]
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.join(timeout=10.0)
+        return node_id
+
+    def stop_node(self, node_id: str, timeout_s: float = 30.0) -> None:
+        """Graceful node shutdown (SIGTERM: finish in-flight, report,
+        exit)."""
+        proc = self.nodes.pop(node_id, None)
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=timeout_s)
+        if proc.is_alive():  # refuse to leak processes out of a test
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            proc.join(timeout=5.0)
+
+    # -- job plumbing ----------------------------------------------------------
+
+    def submit(self, specs: Sequence[JobSpec]) -> List[str]:
+        return [self.service.submit(spec)["id"] for spec in specs]
+
+    def ensure_submitted(self, specs: Sequence[JobSpec]) -> List[str]:
+        known = {entry.get("key") for entry in self.service.jobs_snapshot()}
+        return [self.service.submit(spec)["id"] for spec in specs
+                if spec.key() not in known]
+
+    def wait_all(self, timeout_s: float = 300.0) -> Dict[str, dict]:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            entries = {e["id"]: e for e in self.service.jobs_snapshot()}
+            if entries and all(e["status"] in TERMINAL
+                               for e in entries.values()):
+                return entries
+            if time.monotonic() > deadline:
+                stuck = [e["id"] for e in entries.values()
+                         if e["status"] not in TERMINAL]
+                raise TimeoutError(f"jobs stuck after {timeout_s}s: {stuck}")
+            time.sleep(0.05)
 
 
 # -- oracle --------------------------------------------------------------------

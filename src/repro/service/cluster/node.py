@@ -1,0 +1,276 @@
+"""Worker-node agent: lease, replicate, simulate, report.
+
+A :class:`ClusterNode` is one worker host in the fabric.  It wraps the
+same lease-based :class:`~repro.service.pool.SimulationPool` the
+single-process service uses (per-worker heartbeats, bounded
+redeliveries, dead-letters) and speaks the coordinator's pull protocol
+over one keep-alive HTTP connection:
+
+1. ``register`` with a capacity, then ``heartbeat`` periodically —
+   every message renews liveness, so a busy node never goes suspect.
+2. ``lease`` up to its idle capacity.  Each leased job is first tried
+   against the node's pull-through :class:`ReplicaStore` (local store,
+   then fetch-on-miss from the coordinator with sha256 verification);
+   a hit completes instantly with zero simulation.
+3. Misses run on the local pool; pool span events (started / simulated /
+   stored / redelivered / worker_died ...) are buffered per job, stamped
+   with the node id, and ride the ``complete`` message back — together
+   with a cumulative telemetry snapshot merging the node's own registry
+   and every pool worker's, so the coordinator's ``/metrics`` and
+   ``GET /jobs/<id>/trace`` stay as complete as single-process mode.
+4. A completion that cannot be delivered (coordinator briefly down) is
+   parked in an outbox and retried — finished work is never dropped.
+
+Transport failures degrade to backoff-and-retry; an ``unknown node``
+rejection (coordinator restarted, or it declared us dead while we were
+partitioned) triggers re-registration.  The journal lives coordinator-
+side: node death is handled by lease reclaim + redelivery there, so the
+node itself keeps no durable state beyond its local store replica.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.telemetry import (MetricsRegistry, get_logger, log_event,
+                                 merge_snapshots)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.cluster.replica import ReplicaStore
+from repro.service.jobs import JobSpec
+from repro.service.pool import SimulationPool
+from repro.service.store import ResultStore
+
+_LOG = get_logger("service.cluster.node")
+
+
+def default_node_id() -> str:
+    return f"node-{socket.gethostname()}-{os.getpid()}"
+
+
+class ClusterNode:
+    def __init__(self, coordinator_url: str, store_dir,
+                 node_id: Optional[str] = None,
+                 workers: int = 1,
+                 heartbeat_s: float = 1.0,
+                 lease_wait_s: float = 0.5,
+                 pool_lease_s: float = 30.0,
+                 job_timeout_s: Optional[float] = None) -> None:
+        self.node_id = node_id or default_node_id()
+        self.capacity = max(1, int(workers))
+        self.heartbeat_s = heartbeat_s
+        self.lease_wait_s = lease_wait_s
+        self.client = ServiceClient(coordinator_url, timeout=30.0)
+        self.store = ResultStore(store_dir)
+        self.replica = ReplicaStore(self.store, self._fetch_envelope)
+        self.telemetry = MetricsRegistry()
+        self._m_leased = self.telemetry.counter(
+            "repro_node_jobs_leased_total", "Jobs leased by this node")
+        self._m_replica = self.telemetry.counter(
+            "repro_node_replica_hits_total",
+            "Leased jobs served from the replica store with no simulation")
+        self._m_completed = self.telemetry.counter(
+            "repro_node_jobs_reported_total",
+            "Completions delivered to the coordinator")
+        self.pool = SimulationPool(n_workers=self.capacity,
+                                   store=self.store,
+                                   timeout=job_timeout_s,
+                                   lease_s=pool_lease_s,
+                                   telemetry=True)
+        self.pool.on_event = self._pool_event
+        #: pool job id -> cluster job dict (id/key/spec/...).
+        self._inflight: Dict[int, dict] = {}
+        #: cluster job id -> buffered span events for the completion.
+        self._span_buf: Dict[str, List[dict]] = {}
+        #: undeliverable completion payloads, retried every step.
+        self._outbox: List[dict] = []
+        self._registered = False
+        self._draining = False
+        self._last_hb = 0.0
+        self._stop = threading.Event()
+        self.stats = {"leased": 0, "replica_served": 0, "reported": 0,
+                      "report_retries": 0, "reregistrations": 0}
+
+    # -- replica fetch ---------------------------------------------------------
+
+    def _fetch_envelope(self, key: str) -> Optional[dict]:
+        """``GET /results/<key>`` from the coordinator; any failure is a
+        miss (the job just simulates locally)."""
+        try:
+            return self.client.result(key)
+        except (ServiceError, OSError):
+            return None
+
+    # -- pool span plumbing ----------------------------------------------------
+
+    def _pool_event(self, pool_id: int, event: str, **attrs) -> None:
+        job = self._inflight.get(pool_id)
+        if job is None:
+            return
+        record = {"ev": event, "ts": round(time.time(), 6),
+                  "node": self.node_id}
+        record.update(attrs)
+        self._span_buf.setdefault(job["id"], []).append(record)
+
+    # -- protocol --------------------------------------------------------------
+
+    def _snapshot(self) -> dict:
+        return merge_snapshots([self.telemetry.snapshot()]
+                               + self.pool.telemetry_snapshots())
+
+    def register(self) -> None:
+        self.client._request("/cluster/register",
+                             payload={"node": self.node_id,
+                                      "capacity": self.capacity})
+        self._registered = True
+        self._last_hb = time.monotonic()
+        log_event(_LOG, "node.registered", node=self.node_id,
+                  capacity=self.capacity)
+
+    def _heartbeat(self) -> None:
+        response = self.client._request(
+            "/cluster/heartbeat",
+            payload={"node": self.node_id,
+                     "telemetry": self._snapshot(),
+                     "inflight": len(self._inflight)})
+        self._last_hb = time.monotonic()
+        self._draining = bool(response.get("draining"))
+
+    def _lease(self) -> None:
+        idle = self.capacity - len(self._inflight)
+        if idle <= 0 or self._draining:
+            return
+        response = self.client._request(
+            "/cluster/lease",
+            payload={"node": self.node_id, "max_jobs": idle,
+                     "wait_s": self.lease_wait_s})
+        self._last_hb = time.monotonic()
+        for job in response.get("jobs", ()):
+            self.stats["leased"] += 1
+            self._m_leased.inc()
+            spec = JobSpec(**job["spec"])
+            record = self.replica.get(job["key"])
+            if record is not None:
+                # Pull-through replication hit: no simulation at all.
+                self.stats["replica_served"] += 1
+                self._m_replica.inc()
+                self._span_buf.setdefault(job["id"], []).append(
+                    {"ev": "store_hit", "ts": round(time.time(), 6),
+                     "node": self.node_id, "replica": True})
+                self._queue_completion(job, record)
+                continue
+            pool_id = self.pool.submit(spec)
+            self._inflight[pool_id] = job
+            if self.pool.done(pool_id):
+                # Synchronous resolution (local store hit inside the
+                # pool, or serial fallback) — report right away.
+                self._finish(pool_id)
+
+    def _queue_completion(self, job: dict, record: dict) -> None:
+        self._outbox.append({
+            "node": self.node_id, "job": job["id"], "key": job["key"],
+            "record": record,
+            "spans": self._span_buf.pop(job["id"], []),
+        })
+
+    def _finish(self, pool_id: int) -> None:
+        job = self._inflight.pop(pool_id)
+        record = self.pool.record(pool_id)
+        if record is None:  # cancelled mid-drain; coordinator redelivers
+            return
+        self._queue_completion(job, record)
+
+    def _flush_outbox(self) -> None:
+        while self._outbox:
+            payload = dict(self._outbox[0])
+            payload["telemetry"] = self._snapshot()
+            try:
+                self.client._request("/cluster/complete", payload=payload)
+            except OSError:
+                self.stats["report_retries"] += 1
+                return  # coordinator unreachable; retry next step
+            self._outbox.pop(0)
+            self._last_hb = time.monotonic()
+            self.stats["reported"] += 1
+            self._m_completed.inc()
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self, block_s: float = 0.05) -> None:
+        """One scheduling beat: heartbeat if due, lease up to idle
+        capacity, pump the pool, report completions."""
+        try:
+            if not self._registered:
+                self.register()
+                self.stats["reregistrations"] += 1
+            if time.monotonic() - self._last_hb >= self.heartbeat_s:
+                self._heartbeat()
+            self._lease()
+        except ServiceError as exc:
+            if exc.status in (404, 409, 410):
+                # Coordinator restarted or declared us dead: start over.
+                self._registered = False
+                log_event(_LOG, "node.reregister", node=self.node_id,
+                          status=exc.status)
+            else:
+                raise
+        except OSError:
+            time.sleep(min(self.heartbeat_s, 0.5))  # coordinator down
+        self.pool.tick(block_s=block_s)
+        for pool_id in [p for p in list(self._inflight)
+                        if self.pool.done(p)]:
+            self._finish(pool_id)
+        self._flush_outbox()
+
+    def run(self) -> None:
+        self.pool.start()
+        try:
+            while not self._stop.is_set():
+                self.step()
+                if self._draining and not self._inflight \
+                        and not self._outbox:
+                    break
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def close(self) -> None:
+        try:
+            self.pool.close()
+        finally:
+            self.client.close()
+
+
+def run_node(coordinator_url: str, store_dir,
+             node_id: Optional[str] = None, workers: int = 1,
+             heartbeat_s: float = 1.0,
+             job_timeout_s: Optional[float] = None) -> ClusterNode:
+    """Blocking CLI entry for ``repro serve --role node``.
+
+    SIGTERM/SIGINT stop leasing, finish in-flight work, deliver the
+    outbox and exit — the cluster analogue of the coordinator's drain.
+    """
+    node = ClusterNode(coordinator_url, store_dir, node_id=node_id,
+                       workers=workers, heartbeat_s=heartbeat_s,
+                       job_timeout_s=job_timeout_s)
+
+    def _stop(signum, frame):
+        node.stop()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _stop)
+        except ValueError:  # not the main thread (tests)
+            pass
+    print(f"[node {node.node_id}] coordinator={coordinator_url} "
+          f"workers={workers}", flush=True)
+    node.run()
+    print(f"[node {node.node_id}] stopped "
+          f"(reported={node.stats['reported']})", flush=True)
+    return node

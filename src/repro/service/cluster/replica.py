@@ -1,0 +1,63 @@
+"""Pull-through replica of a content-addressed result store.
+
+A node keeps its own local :class:`~repro.service.store.ResultStore` and
+treats the coordinator's store as the authority.  A read tries the local
+store first; on a miss it fetches the wire envelope for the key
+(``GET /results/<key>`` via the injected ``fetch`` callable), runs the
+exact same validation a local read would — schema, key, and the embedded
+sha256 against the canonical re-serialisation
+(:func:`~repro.service.store.verify_envelope`) — and only then caches
+the record locally.  Content addressing makes this trivially correct:
+the local write re-encodes canonically, producing bytes identical to the
+authority's, so replicas can never diverge and a poisoned or truncated
+wire payload is rejected before it touches disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.service.store import ResultStore, verify_envelope
+
+
+class ReplicaStore:
+    """Local store + fetch-on-miss against an authoritative peer.
+
+    ``fetch(key)`` returns the peer's envelope dict (the JSON body of
+    ``GET /results/<key>``) or ``None`` on a miss; transport errors
+    should be mapped to ``None`` by the caller so a coordinator hiccup
+    degrades to "recompute locally", never to a crash.
+    """
+
+    def __init__(self, local: ResultStore,
+                 fetch: Callable[[str], Optional[dict]]) -> None:
+        self.local = local
+        self._fetch = fetch
+        self.stats = {"local_hits": 0, "fetched": 0, "fetch_misses": 0,
+                      "verify_failures": 0}
+
+    def get(self, key: str) -> Optional[dict]:
+        """The validated record for ``key``: local, else fetched +
+        verified + cached, else None."""
+        record = self.local.get(key)
+        if record is not None:
+            self.stats["local_hits"] += 1
+            return record
+        envelope = self._fetch(key)
+        if envelope is None:
+            self.stats["fetch_misses"] += 1
+            return None
+        record = verify_envelope(key, envelope)
+        if record is None:
+            self.stats["verify_failures"] += 1
+            return None
+        # Canonical re-encode: byte-identical to the authority's entry.
+        self.local.put(key, record)
+        self.stats["fetched"] += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.local
+
+    def stats_snapshot(self) -> dict:
+        return dict(self.stats)

@@ -54,9 +54,11 @@ JOURNAL_SCHEMA = 2
 SUPPORTED_SCHEMAS = frozenset((1, 2))
 
 #: Record types a journal append will accept.  ``span`` (schema 2)
-#: persists one per-job telemetry span event with no lifecycle effect.
+#: persists one per-job telemetry span event with no lifecycle effect;
+#: ``node`` records cluster-node roster transitions (register / suspect
+#: / dead) — informational for post-mortems, ignored by the job fold.
 RECORD_TYPES = ("submitted", "leased", "heartbeat", "done", "failed",
-                "dead_letter", "drain", "span")
+                "dead_letter", "drain", "span", "node")
 
 #: Job states that end a job's lifecycle.
 TERMINAL_STATES = ("done", "failed", "dead_letter")

@@ -144,13 +144,22 @@ def spec_from_request(body: dict) -> JobSpec:
         warmup = int(body.get("warmup", 6_000))
     except (TypeError, ValueError):
         raise BadJobError("'n' and 'warmup' must be integers")
+    try:
+        # Fault-injection hooks (chaos tests and the cluster bench's
+        # stall workload submit these over HTTP; neither is part of the
+        # result key, so they never pollute the store).
+        test_kill = int(body.get("test_kill", 0))
+        test_stall_s = float(body.get("test_stall_s", 0.0))
+    except (TypeError, ValueError):
+        raise BadJobError("'test_kill' and 'test_stall_s' must be numeric")
     return JobSpec(core=dataclasses.asdict(cfg),
                    profile=dataclasses.asdict(profile_obj),
                    n_instrs=n_instrs, warmup=warmup,
                    sanitize=bool(body["sanitize"]) if "sanitize" in body
                    else None,
                    retries=int(body.get("retries", 1)),
-                   accounting=bool(body.get("accounting", True)))
+                   accounting=bool(body.get("accounting", True)),
+                   test_kill=test_kill, test_stall_s=test_stall_s)
 
 
 class SimulationService:
@@ -777,6 +786,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, {"error": "unknown endpoint"})
 
     def do_POST(self) -> None:
+        # Drain the request body unconditionally, before any routing:
+        # on a keep-alive socket, body bytes a handler never read would
+        # be parsed as the start of the *next* request.
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
         if self.path == "/scrub" or self.path == "/scrub?repair=1":
             report = self.service.scrub(repair=self.path.endswith("repair=1"))
             self._send(200, report)
@@ -790,8 +807,7 @@ class _Handler(BaseHTTPRequestHandler):
                        headers={"Retry-After": str(RETRY_AFTER_S)})
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            body = json.loads(self.rfile.read(length) or b"{}")
+            body = json.loads(raw or b"{}")
         except (ValueError, json.JSONDecodeError):
             self._send(400, {"error": "invalid JSON body"})
             return

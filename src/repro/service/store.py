@@ -80,12 +80,13 @@ def encode_record(key: str, record: dict) -> bytes:
             + "\n").encode()
 
 
-def _decode_record(key: str, raw: bytes) -> Optional[dict]:
-    """The validated record payload, or None when the entry is corrupt."""
-    try:
-        envelope = json.loads(raw.decode())
-    except (UnicodeDecodeError, json.JSONDecodeError):
-        return None
+def verify_envelope(key: str, envelope) -> Optional[dict]:
+    """The validated record inside one store envelope, or None.
+
+    Checks schema, key and the embedded sha256 against the canonical
+    re-serialisation of the record — the same validation a local read
+    performs, usable on envelopes that arrived over the wire (a replica
+    fetching ``GET /results/<key>`` trusts nothing it did not hash)."""
     if not isinstance(envelope, dict):
         return None
     if envelope.get("schema") != STORE_SCHEMA or envelope.get("key") != key:
@@ -95,6 +96,15 @@ def _decode_record(key: str, raw: bytes) -> Optional[dict]:
     if hashlib.sha256(payload.encode()).hexdigest() != envelope.get("digest"):
         return None
     return record
+
+
+def _decode_record(key: str, raw: bytes) -> Optional[dict]:
+    """The validated record payload, or None when the entry is corrupt."""
+    try:
+        envelope = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return verify_envelope(key, envelope)
 
 
 class ResultStore:
