@@ -57,6 +57,21 @@ PAIRS = (("ino", "hmmer"), ("ino", "mcf"),
 #: requires skip-on to beat skip-off here by ``--min-ff-speedup``.
 NOSKIP_PAIRS = (("ino", "mcf"), ("casino", "mcf"))
 
+#: Legs the cross-tier gate covers: both the DRAM-bound and the
+#: compute-bound app on the kernelized cores, so a single-workload
+#: regression in the vectorized tier cannot hide behind the other.
+TIER_PAIRS = (("ino", "mcf"), ("casino", "mcf"),
+              ("ino", "hmmer"), ("casino", "hmmer"))
+
+
+def default_engine_tier() -> str:
+    """The tier this process would auto-select for a kernelized core —
+    what the manifest records, and what the cross-tier gate keys on."""
+    from repro.engine.vectortier import select_kernel
+    core = build_core(_CORES["ino"]())
+    return ("vector"
+            if select_kernel(core, None, False) is not None else "pure")
+
 
 def calibrate(iters: int = 300_000, repeats: int = 3) -> float:
     """Seconds for a fixed pure-Python workload (min over ``repeats``).
@@ -99,6 +114,7 @@ def bench_pair(core_name: str, app: str, n_instrs: int, warmup: int,
         iqr = 0.0
     return {"median_s": median, "iqr_s": iqr, "repeats": repeats,
             "cycles": cycles, "kcycles_per_s": cycles / median / 1e3,
+            "engine_tier": core.engine_tier_used,
             "config_hash": config_hash(cfg)}
 
 
@@ -480,6 +496,7 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
             "git_rev": git_rev(),
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "engine_tier": default_engine_tier(),
             "n_instrs": n_instrs, "warmup": warmup, "repeats": repeats,
         },
         "calibration_s": calibration,
@@ -487,35 +504,106 @@ def run_suite(n_instrs: int, warmup: int, repeats: int) -> dict:
     }
 
 
-def check_regressions(report: dict, baseline_path: Path,
-                      tolerance: float) -> int:
-    """Exit status: 1 when any normalised median regressed > tolerance."""
+def load_baseline(baseline_path: Path):
+    """The parsed baseline report, or None (with a message) on failure."""
     try:
         with open(baseline_path) as fh:
-            baseline = json.load(fh)
+            return json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"cannot read baseline {baseline_path}: {exc}",
               file=sys.stderr)
-        return 1
+        return None
+
+
+def check_regressions(report: dict, baseline: dict, baseline_path: Path,
+                      tolerance: float) -> int:
+    """Exit status: 1 when any normalised median regressed > tolerance,
+    or when the baseline is missing a leg this run produced.
+
+    A missing leg is a hard, *named* failure — a baseline predating a
+    new benchmark (say a ``:noskip`` pair) silently gating nothing is
+    exactly the failure mode this harness exists to prevent; the fix is
+    to regenerate and commit ``BENCH_core.json``.
+    """
     base_results = baseline.get("results", {})
     failures = []
+    missing = []
     for key, entry in report["results"].items():
         base = base_results.get(key)
         if base is None or not base.get("normalized"):
-            print(f"  {key}: no baseline entry (skipped)")
+            if entry.get("normalized"):
+                missing.append(key)
+                print(f"  {key}: MISSING from baseline")
+            else:
+                print(f"  {key}: not normalised (skipped)")
             continue
         ratio = entry["normalized"] / base["normalized"]
         verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
         print(f"  {key}: {ratio:.2f}x baseline ({verdict})")
         if ratio > 1.0 + tolerance:
             failures.append((key, ratio))
+    status = 0
+    if missing:
+        print(f"\nFAIL: baseline {baseline_path} has no entry for "
+              f"{len(missing)} leg(s) this run produced — regenerate the "
+              f"baseline:", file=sys.stderr)
+        for key in missing:
+            print(f"  {key}", file=sys.stderr)
+        status = 1
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
               f"{tolerance:.0%} vs {baseline_path}:", file=sys.stderr)
         for key, ratio in failures:
             print(f"  {key}: {ratio:.2f}x baseline", file=sys.stderr)
+        status = 1
+    if not status:
+        print(f"\nOK: no benchmark regressed more than {tolerance:.0%}")
+    return status
+
+
+def check_tier_speedup(report: dict, baseline: dict,
+                       min_speedup: float) -> int:
+    """Cross-tier gate: the vectorized tier must buy ``min_speedup`` on
+    every :data:`TIER_PAIRS` leg relative to the pure interpreter.
+
+    Engages only when this run's auto-selected tier differs from the
+    baseline's (manifests without the key predate the vectorized tier
+    and count as ``pure``) — e.g. the first ``--check`` after the tier
+    lands, or a ``REPRO_PURE_PY=1`` run against a vectorized baseline.
+    Same-tier drift is the ``--tolerance`` gate's job.  Whichever side
+    is pure, the comparison is oriented pure/vector, so a silently
+    disengaged fast path reads as ~1.0x and fails loudly.
+    """
+    report_tier = report.get("manifest", {}).get("engine_tier", "pure")
+    base_tier = baseline.get("manifest", {}).get("engine_tier", "pure")
+    if report_tier == base_tier:
+        print(f"  tier gate: baseline and run both on the "
+              f"{report_tier!r} tier (cross-tier gate idle)")
+        return 0
+    failures = []
+    for core_name, app in TIER_PAIRS:
+        key = f"{core_name}/{app}"
+        entry = report["results"].get(key, {})
+        base = baseline.get("results", {}).get(key, {})
+        if not entry.get("normalized") or not base.get("normalized"):
+            continue  # missing legs already failed check_regressions
+        if report_tier == "pure":  # baseline is the vectorized side
+            speedup = entry["normalized"] / base["normalized"]
+        else:
+            speedup = base["normalized"] / entry["normalized"]
+        verdict = "ok" if speedup >= min_speedup else "TOO SLOW"
+        print(f"  {key}: vectorized tier {speedup:.2f}x pure "
+              f"(need >= {min_speedup:.2f}x, {verdict})")
+        if speedup < min_speedup:
+            failures.append((key, speedup))
+    if failures:
+        print(f"\nFAIL: vectorized tier under {min_speedup:.2f}x the "
+              f"pure interpreter on {len(failures)} leg(s):",
+              file=sys.stderr)
+        for key, speedup in failures:
+            print(f"  {key}: {speedup:.2f}x < {min_speedup:.2f}x",
+                  file=sys.stderr)
         return 1
-    print(f"\nOK: no benchmark regressed more than {tolerance:.0%}")
     return 0
 
 
@@ -617,6 +705,12 @@ def main(argv=None) -> int:
                         default="BENCH_core.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed normalised-median regression fraction")
+    parser.add_argument("--min-tier-speedup", type=float, default=1.8,
+                        help="--check also fails when the vectorized "
+                             "engine tier buys less than this factor "
+                             "over the pure interpreter on the gated "
+                             "legs (engages only when the run and the "
+                             "baseline were produced by different tiers)")
     parser.add_argument("--min-ff-speedup", type=float, default=1.1,
                         help="--check also fails when quiescence skipping "
                              "is not at least this much faster than "
@@ -653,8 +747,13 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {args.out}")
     if args.check:
-        status = check_regressions(report, Path(args.baseline),
+        baseline = load_baseline(Path(args.baseline))
+        if baseline is None:
+            return 1
+        status = check_regressions(report, baseline, Path(args.baseline),
                                    args.tolerance)
+        status = check_tier_speedup(report, baseline,
+                                    args.min_tier_speedup) or status
         status = check_fastforward(report, args.min_ff_speedup) or status
         status = check_journal_overhead(report,
                                         args.max_journal_overhead) or status

@@ -168,6 +168,8 @@ class CoreModel:
         self.tracer = None         # repro.obs.events.Tracer
         self.sampler = None        # repro.obs.metrics.MetricsSampler
         self.accounting = None     # repro.obs.accounting.CycleAccounting
+        #: Tier that executed the most recent :meth:`run` ("vector"/"pure").
+        self.engine_tier_used = "pure"
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -206,7 +208,7 @@ class CoreModel:
             record_schedule: bool = False, sanitize=None, faults=None,
             deadlock_cycles: Optional[int] = None, tracer=None,
             sampler=None, profiler=None, accounting=None,
-            fast_forward=None) -> Stats:
+            fast_forward=None, engine_tier: Optional[str] = None) -> Stats:
         """Simulate the whole trace; returns the statistics bag.
 
         ``warmup`` discards the counters accumulated while committing the
@@ -243,6 +245,14 @@ class CoreModel:
         the ``REPRO_NO_SKIP`` environment variable; skipping is disabled
         automatically when faults, the sanitizer or a metrics sampler
         (which must see every cycle) are attached.
+        ``engine_tier`` selects the execution tier: ``None`` (default)
+        auto-selects the kernelized vector tier when this core type has a
+        registered kernel, no attached observer forces the fallback and
+        ``REPRO_PURE_PY=1`` is not set; ``"pure"`` forces the interpreted
+        loop; ``"vector"`` demands the kernel and raises when it cannot
+        run (see :mod:`repro.engine.vectortier`).  Both tiers are
+        bit-identical; ``self.engine_tier_used`` records the tier that
+        actually executed.
         """
         from repro.engine.sanitizer import resolve_sanitizer
         self.sanitizer = resolve_sanitizer(sanitize)
@@ -253,6 +263,24 @@ class CoreModel:
         watchdog = (deadlock_cycles if deadlock_cycles is not None
                     else self.cfg.deadlock_cycles)
         self.schedule = [] if record_schedule else None
+        # Vector tier: a kernelized twin of the loop below, selected only
+        # when it is provably equivalent (exact core type, no observers).
+        # The kernel consumes the trace's SoA columns; object records back
+        # the entries for observers and post-mortem inspection.
+        from repro.engine.soatrace import TraceArrays
+        from repro.engine.vectortier import arrays_for, select_kernel
+        observers_attached = (faults is not None or self.sanitizer is not None
+                              or sampler is not None or tracer is not None
+                              or accounting is not None
+                              or profiler is not None)
+        kernel = select_kernel(self, engine_tier, observers_attached)
+        self.engine_tier_used = "vector" if kernel is not None else "pure"
+        arrays = None
+        if isinstance(trace, TraceArrays):
+            arrays = trace
+            trace = arrays.materialize()
+        elif kernel is not None:
+            arrays = arrays_for(trace)
         self.reset(trace)
         if profiler is not None:
             profiler.attach(self)
@@ -271,6 +299,15 @@ class CoreModel:
         skip_ok = (_resolve_fast_forward(fast_forward)
                    and faults is None and self.sanitizer is None
                    and sampler is None)
+        if kernel is not None:
+            cycle, warm_snapshot, warm_cycle = kernel(
+                self, arrays, max_cycles, watchdog, warmup, skip_ok)
+            self.stats.add("cycles", cycle)
+            if warm_snapshot is not None:
+                for key, value in warm_snapshot.items():
+                    self.stats.counters[key] -= value
+                self.stats.counters["cycles"] = cycle - warm_cycle
+            return self.stats
         counters = self.stats.counters
         fu = self.fu
         fetch_tick = self.fetch.tick

@@ -1,0 +1,119 @@
+"""Vector-tier selection: which cores get a kernelized run loop, and when.
+
+The vectorized engine tier replaces :meth:`CoreModel.run`'s interpreted
+cycle loop with a per-core *kernel* — one flat function with hoisted
+structure state and bulk counter accumulation (see
+:mod:`repro.engine.fastino` / :mod:`repro.engine.fastcasino`).  Kernels are
+bit-identical to the interpreted path; selection is therefore purely a
+host-performance decision and follows three rules:
+
+1. **Exact type match.**  A kernel registered for ``InOrderCore`` never
+   runs for a subclass: subclasses override stage methods (tests and the
+   TSO example both do) and the kernel would silently bypass them.
+2. **Observers force the pure tier.**  Faults mutate state on arbitrary
+   cycles; the sanitizer, sampler and accounting observe every cycle; the
+   tracer hooks dispatch/issue/commit; the profiler wraps the very methods
+   the kernel inlines away.  Any of them attached selects the interpreted
+   path — exactly like quiescence skipping disables itself today.
+   ``record_schedule`` and fast-forward (on or off) are supported inside
+   kernels.
+3. **`REPRO_PURE_PY=1` disables the tier globally** (the CI fallback leg),
+   and ``run(engine_tier=...)`` overrides per call: ``"pure"`` forces the
+   interpreted loop, ``"vector"`` demands a kernel and raises
+   ``SimulationError`` when rule 1 or 2 makes that impossible (the bench
+   harness uses this so a silently-disengaged tier can never pass for a
+   speedup), ``None`` auto-selects.
+
+After every :meth:`run`, ``core.engine_tier_used`` records the tier that
+actually executed (``"vector"`` or ``"pure"``).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Type
+
+from repro.engine.core_base import SimulationError
+from repro.engine.soatrace import TraceArrays
+
+#: Exact core type -> kernel(core, arrays, max_cycles, watchdog, warmup,
+#: skip_ok) returning (final_cycle, warm_snapshot, warm_cycle).
+_KERNELS: Dict[Type, Callable] = {}
+
+#: id(trace) -> (trace, TraceArrays): the once-per-trace SoA conversion.
+#: Holds a strong reference to the trace list so the id stays valid; the
+#: harness already keeps hot traces alive in its own LRU, so the extra
+#: retention is bounded and shared.
+_SOA_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_SOA_CACHE_MAX = 16
+
+
+def arrays_for(trace) -> TraceArrays:
+    """The SoA twin of ``trace``, converted once and LRU-cached by object
+    identity (traces are reused across runs by the harness/bench)."""
+    key = id(trace)
+    hit = _SOA_CACHE.get(key)
+    if hit is not None and hit[0] is trace:
+        _SOA_CACHE.move_to_end(key)
+        return hit[1]
+    arrays = TraceArrays.from_instructions(trace)
+    _SOA_CACHE[key] = (trace, arrays)
+    if len(_SOA_CACHE) > _SOA_CACHE_MAX:
+        _SOA_CACHE.popitem(last=False)
+    return arrays
+
+
+def register_kernel(core_type: Type, kernel: Callable) -> None:
+    """Register ``kernel`` as ``core_type``'s vector-tier run loop."""
+    _KERNELS[core_type] = kernel
+
+
+def kernel_for(core_type: Type) -> Optional[Callable]:
+    """The registered kernel for exactly ``core_type`` (never subclasses)."""
+    _ensure_registered()
+    return _KERNELS.get(core_type)
+
+
+def _ensure_registered() -> None:
+    # Kernels live next to the cores they accelerate; import them lazily so
+    # `engine` stays import-cycle-free (cores import core_base).
+    if _KERNELS:
+        return
+    from repro.cores.inorder import InOrderCore
+    from repro.engine import fastino
+    _KERNELS[InOrderCore] = fastino.run_inorder
+    try:
+        from repro.cores.casino.core import CasinoCore
+        from repro.engine import fastcasino
+        _KERNELS[CasinoCore] = fastcasino.run_casino
+    except ImportError:  # pragma: no cover - partial checkouts only
+        pass
+
+
+def select_kernel(core, engine_tier: Optional[str],
+                  observers_attached: bool) -> Optional[Callable]:
+    """Resolve the kernel to run ``core`` with, or ``None`` for pure.
+
+    ``engine_tier`` is the ``run()`` argument (``None`` auto, ``"pure"``,
+    ``"vector"``); ``observers_attached`` is true when any observer that
+    forces the fallback is armed for this run.
+    """
+    if engine_tier not in (None, "pure", "vector"):
+        raise ValueError(f"unknown engine_tier {engine_tier!r}")
+    if engine_tier == "pure":
+        return None
+    forced = engine_tier == "vector"
+    if not forced and os.environ.get("REPRO_PURE_PY", "0") == "1":
+        return None
+    kernel = kernel_for(type(core))
+    if kernel is None or observers_attached:
+        if forced:
+            reason = ("an attached observer forces the pure tier"
+                      if kernel is not None else
+                      f"no kernel registered for {type(core).__name__}")
+            raise SimulationError(
+                f"{core.cfg.name}: engine_tier='vector' but {reason}",
+                core=core.cfg.name, check="engine_tier")
+        return None
+    return kernel

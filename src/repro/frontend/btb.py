@@ -35,6 +35,32 @@ class Btb:
         ways[pc] = (target, self._stamp)
         return target
 
+    def lookup_update(self, pc: int, target: int) -> Optional[int]:
+        """Fused ``lookup(pc)`` + ``update(pc, target)``: one set
+        resolution instead of two for the fetch hot path.
+
+        Returns the prediction the split ``lookup`` would have produced,
+        with identical counter bumps; the final entry and LRU order match
+        the split sequence exactly (on a hit the lookup's touch stamp is
+        subsumed by the update's install, so the stamp advances by two).
+        """
+        ways = self.sets.setdefault((pc >> 2) % self.n_sets, {})
+        counters = self.stats.counters
+        counters["btb_lookups"] += 1.0
+        entry = ways.get(pc)
+        if entry is None:
+            counters["btb_misses"] += 1.0
+            predicted = None
+            if len(ways) >= self.n_ways:
+                victim = min(ways, key=lambda k: ways[k][1])
+                del ways[victim]
+            self._stamp += 1
+        else:
+            predicted = entry[0]
+            self._stamp += 2
+        ways[pc] = (target, self._stamp)
+        return predicted
+
     def update(self, pc: int, target: int) -> None:
         """Install/refresh the target for the branch at ``pc``."""
         ways = self.sets.setdefault(self._set_idx(pc), {})

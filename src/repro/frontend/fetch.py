@@ -98,15 +98,13 @@ class FetchUnit:
     def _predict(self, inst: DynInst) -> bool:
         """Predict the branch; returns True when mispredicted (fetch gates)."""
         if inst.op is OpClass.BRANCH:
-            pred_taken = self.tage.predict(inst.pc)
-            self.tage.update(inst.pc, inst.taken)
+            pred_taken = self.tage.predict_update(inst.pc, inst.taken)
         else:  # unconditional jump
             pred_taken = True
         target_ok = True
         if inst.taken:
-            predicted_target = self.btb.lookup(inst.pc)
+            predicted_target = self.btb.lookup_update(inst.pc, inst.target)
             target_ok = predicted_target == inst.target
-            self.btb.update(inst.pc, inst.target)
         mispredicted = (pred_taken != inst.taken) or (inst.taken and not target_ok)
         if mispredicted:
             self.stats.add("fetch_mispredict_gates")

@@ -15,17 +15,16 @@ from repro.common.params import BranchPredictorConfig
 from repro.common.stats import Stats
 
 
-class _TaggedEntry:
-    __slots__ = ("tag", "ctr", "useful")
-
-    def __init__(self) -> None:
-        self.tag = 0
-        self.ctr = 0      # signed 3-bit: -4..3, taken when >= 0
-        self.useful = 0   # 2-bit
-
-
 class Tage:
-    """TAGE with a bimodal base table and ``n_tagged`` tagged components."""
+    """TAGE with a bimodal base table and ``n_tagged`` tagged components.
+
+    Tagged-table entries are stored SoA — parallel ``tag``/``ctr``/
+    ``useful`` int lists per table — rather than as one object per entry:
+    construction is three list multiplications instead of thousands of
+    allocations, and the lookup loop indexes flat lists instead of
+    chasing attributes.  ``ctr`` is a signed 3-bit counter (-4..3, taken
+    when >= 0); ``useful`` is the 2-bit TAGE usefulness counter.
+    """
 
     def __init__(self, cfg: Optional[BranchPredictorConfig] = None,
                  stats: Optional[Stats] = None) -> None:
@@ -33,13 +32,29 @@ class Tage:
         self.stats = stats if stats is not None else Stats()
         c = self.cfg
         self.bimodal = [2] * (1 << c.bimodal_bits)  # 2-bit, weakly taken
-        self.tables: List[List[_TaggedEntry]] = [
-            [_TaggedEntry() for _ in range(1 << c.tagged_bits)]
-            for _ in range(c.n_tagged)
-        ]
+        size = 1 << c.tagged_bits
+        self.tag_t: List[List[int]] = [[0] * size for _ in range(c.n_tagged)]
+        self.ctr_t: List[List[int]] = [[0] * size for _ in range(c.n_tagged)]
+        self.use_t: List[List[int]] = [[0] * size for _ in range(c.n_tagged)]
         self.ghr = 0
         self._ghr_mask = (1 << c.ghr_bits) - 1
         self._alloc_tick = 0
+        # Incrementally-maintained folded histories, one (index, tag) pair
+        # per tagged table: ``_fidx[t] == _fold(ghr, L_t, tagged_bits)`` and
+        # ``_ftag[t] == _fold(ghr, L_t, tag_bits)`` at all times.  Folding
+        # is linear over GF(2) — input bit ``i`` lands on output bit
+        # ``i % out_bits`` — so a one-bit history shift is a rotate plus
+        # two XORs instead of a re-fold (the standard TAGE circuit).
+        self._fidx = [0] * c.n_tagged
+        self._ftag = [0] * c.n_tagged
+        self._fold_geom = tuple(
+            (length, length % c.tagged_bits, length % c.tag_bits)
+            for length in c.history_lengths)
+        self._idx_mask = (1 << c.tagged_bits) - 1
+        self._tag_mask = (1 << c.tag_bits) - 1
+        self._idx_rot = c.tagged_bits - 1
+        self._tag_rot = c.tag_bits - 1
+        self._bimodal_mask = (1 << c.bimodal_bits) - 1
 
     # -- hashing -------------------------------------------------------------
 
@@ -54,14 +69,12 @@ class Tage:
         return folded
 
     def _index(self, pc: int, table: int) -> int:
-        c = self.cfg
-        hist = self._fold(self.ghr, c.history_lengths[table], c.tagged_bits)
-        return (pc ^ (pc >> (table + 2)) ^ hist) & ((1 << c.tagged_bits) - 1)
+        hist = self._fidx[table]
+        return (pc ^ (pc >> (table + 2)) ^ hist) & self._idx_mask
 
     def _tag(self, pc: int, table: int) -> int:
-        c = self.cfg
-        hist = self._fold(self.ghr, c.history_lengths[table], c.tag_bits)
-        return ((pc >> 2) ^ (pc >> (table + 5)) ^ (hist << 1)) & ((1 << c.tag_bits) - 1)
+        hist = self._ftag[table]
+        return ((pc >> 2) ^ (pc >> (table + 5)) ^ (hist << 1)) & self._tag_mask
 
     # -- prediction ------------------------------------------------------------
 
@@ -75,17 +88,25 @@ class Tage:
         """Return (provider_table or None, provider_idx, prediction, altpred)."""
         provider = None
         provider_idx = 0
-        alt = self._bimodal_pred(pc)
+        alt = self.bimodal[(pc >> 2) & self._bimodal_mask] >= 2
         pred = alt
+        # Hashes inlined from _index/_tag against the cached folds: this
+        # loop is the per-branch hot path for every core's frontend.
+        fidx = self._fidx
+        ftag = self._ftag
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        tag_t = self.tag_t
+        ctr_t = self.ctr_t
         for t in range(self.cfg.n_tagged - 1, -1, -1):
-            idx = self._index(pc, t)
-            entry = self.tables[t][idx]
-            if entry.tag == self._tag(pc, t):
+            idx = (pc ^ (pc >> (t + 2)) ^ fidx[t]) & idx_mask
+            if tag_t[t][idx] == ((pc >> 2) ^ (pc >> (t + 5))
+                                ^ (ftag[t] << 1)) & tag_mask:
                 if provider is None:
                     provider, provider_idx = t, idx
-                    pred = entry.ctr >= 0
+                    pred = ctr_t[t][idx] >= 0
                 else:
-                    alt = entry.ctr >= 0
+                    alt = ctr_t[t][idx] >= 0
                     break
         return provider, provider_idx, pred, alt
 
@@ -94,22 +115,63 @@ class Tage:
 
     # -- update ----------------------------------------------------------------
 
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused predict-then-train: one table lookup instead of two.
+
+        ``predict(pc)`` followed by ``update(pc, taken)`` performs the
+        same ``_lookup`` twice on identical global history (the history
+        shifts only at the end of ``update``), so fusing them halves the
+        hashing work while leaving every counter bump and every state
+        transition exactly as the split calls produce.  Returns the
+        prediction.
+        """
+        provider, provider_idx, pred, alt = self._lookup(pc)
+        self.stats.counters["bp_lookups"] += 1.0
+        self._train(pc, taken, provider, provider_idx, pred, alt)
+        return pred
+
     def update(self, pc: int, taken: bool) -> None:
         """Train on the actual outcome and advance the global history."""
         provider, provider_idx, pred, alt = self._lookup(pc)
+        self._train(pc, taken, provider, provider_idx, pred, alt)
+
+    def _train(self, pc: int, taken: bool, provider, provider_idx: int,
+               pred: bool, alt: bool) -> None:
         correct = pred == taken
         self.stats.counters["bp_correct" if correct else "bp_mispredicts"] += 1.0
         if provider is not None:
-            entry = self.tables[provider][provider_idx]
-            entry.ctr = _sat(entry.ctr + (1 if taken else -1), -4, 3)
+            ctrs = self.ctr_t[provider]
+            ctrs[provider_idx] = _sat(
+                ctrs[provider_idx] + (1 if taken else -1), -4, 3)
             if pred != alt:
-                entry.useful = _sat(entry.useful + (1 if correct else -1), 0, 3)
+                useful = self.use_t[provider]
+                useful[provider_idx] = _sat(
+                    useful[provider_idx] + (1 if correct else -1), 0, 3)
         else:
             idx = (pc >> 2) & ((1 << self.cfg.bimodal_bits) - 1)
             self.bimodal[idx] = _sat(self.bimodal[idx] + (1 if taken else -1), 0, 3)
         if not correct:
             self._allocate(pc, taken, provider)
-        self.ghr = ((self.ghr << 1) | int(taken)) & self._ghr_mask
+        ghr = self.ghr
+        bit = 1 if taken else 0
+        self.ghr = ((ghr << 1) | bit) & self._ghr_mask
+        # Keep the folded histories in lockstep with the shift: rotate each
+        # fold left by one (within its width), insert the new bit at the
+        # bottom, and XOR out the evicted bit at position ``L % out_bits``.
+        fidx = self._fidx
+        ftag = self._ftag
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        idx_rot = self._idx_rot
+        tag_rot = self._tag_rot
+        for t, (length, idx_out, tag_out) in enumerate(self._fold_geom):
+            evicted = (ghr >> (length - 1)) & 1
+            f = fidx[t]
+            fidx[t] = ((((f << 1) | (f >> idx_rot)) & idx_mask)
+                       ^ bit ^ (evicted << idx_out))
+            f = ftag[t]
+            ftag[t] = ((((f << 1) | (f >> tag_rot)) & tag_mask)
+                       ^ bit ^ (evicted << tag_out))
 
     def _allocate(self, pc: int, taken: bool, provider: Optional[int]) -> None:
         """On a mispredict, claim an entry in a longer-history table."""
@@ -117,18 +179,16 @@ class Tage:
         self._alloc_tick += 1
         for t in range(start, self.cfg.n_tagged):
             idx = self._index(pc, t)
-            entry = self.tables[t][idx]
-            if entry.useful == 0:
-                entry.tag = self._tag(pc, t)
-                entry.ctr = 0 if taken else -1
-                entry.useful = 0
+            if self.use_t[t][idx] == 0:
+                self.tag_t[t][idx] = self._tag(pc, t)
+                self.ctr_t[t][idx] = 0 if taken else -1
                 return
         # Nothing free: age useful counters (graceful degradation).
         if self._alloc_tick % 4 == 0:
             for t in range(start, self.cfg.n_tagged):
                 idx = self._index(pc, t)
-                self.tables[t][idx].useful = max(
-                    0, self.tables[t][idx].useful - 1)
+                useful = self.use_t[t]
+                useful[idx] = max(0, useful[idx] - 1)
 
     @property
     def mispredict_rate(self) -> float:

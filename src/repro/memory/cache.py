@@ -150,12 +150,16 @@ class Cache:
             return hit_latency
         if not prefetch:
             counters[self._k_misses] += 1.0
-        # MSHR back-pressure: wait for the earliest outstanding fill.
-        outstanding = [t for t in mshrs.values() if t > cycle]
+        # MSHR back-pressure: wait for the earliest outstanding fill.  The
+        # dict holds completed entries until lazily reaped, so its length
+        # alone can't prove pressure — but it does bound the live count,
+        # which skips the filtering scan on the common uncontended miss.
         delay = 0
-        if len(outstanding) >= self.cfg.mshrs:
-            delay = min(outstanding) - cycle
-            counters[self._k_mshr_stalls] += 1.0
+        if len(mshrs) >= self.cfg.mshrs:
+            outstanding = [t for t in mshrs.values() if t > cycle]
+            if len(outstanding) >= self.cfg.mshrs:
+                delay = min(outstanding) - cycle
+                counters[self._k_mshr_stalls] += 1.0
         below = self.next_level(addr, cycle + delay + hit_latency)
         latency = hit_latency + delay + below
         mshrs[line] = cycle + latency

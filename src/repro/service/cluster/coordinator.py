@@ -55,7 +55,8 @@ from repro.service.journal import TERMINAL_STATES, Journal, fold_jobs
 from repro.service.jobs import JobSpec
 from repro.service.server import (DEFAULT_PRIORITY, STATS_SCHEMA,
                                   DrainingError, QueueFullError)
-from repro.service.store import ResultStore
+from repro.service.store import (ResultStore, trace_key,
+                                 trace_wire_record)
 
 _LOG = get_logger("service.cluster")
 
@@ -304,6 +305,21 @@ class ClusterService:
         return None
 
     # -- client side: submission -----------------------------------------------
+
+    def publish_trace(self, profile, n_instrs: int, trace) -> str:
+        """Publish one generated input trace for pull-through replication.
+
+        The trace rides the ordinary result namespace: a binary codec
+        container wrapped in a JSON wire record, stored under its
+        content-address key, served raw by ``GET /results/<key>``.
+        Nodes prefetch it through the same verify-then-cache path as
+        result records, so every worker in the fleet skips generation.
+        ``trace`` is the instruction stream or pre-encoded container
+        bytes; returns the trace key.
+        """
+        key = trace_key(profile, n_instrs)
+        self.store.put(key, trace_wire_record(key, trace))
+        return key
 
     def submit(self, spec: JobSpec,
                priority: int = DEFAULT_PRIORITY) -> dict:

@@ -43,7 +43,7 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.cluster.replica import ReplicaStore
 from repro.service.jobs import JobSpec
 from repro.service.pool import SimulationPool
-from repro.service.store import ResultStore
+from repro.service.store import ResultStore, TraceStore
 
 _LOG = get_logger("service.cluster.node")
 
@@ -82,6 +82,11 @@ class ClusterNode:
                                    lease_s=pool_lease_s,
                                    telemetry=True)
         self.pool.on_event = self._pool_event
+        # Pull-through replica of the coordinator's published traces,
+        # rooted on the same shard the pool workers read: a prefetched
+        # container means no worker in this node pays generation.
+        self.traces = TraceStore(self.store.root / "traces",
+                                 fetch=self._fetch_envelope)
         #: pool job id -> cluster job dict (id/key/spec/...).
         self._inflight: Dict[int, dict] = {}
         #: cluster job id -> buffered span events for the completion.
@@ -93,7 +98,8 @@ class ClusterNode:
         self._last_hb = 0.0
         self._stop = threading.Event()
         self.stats = {"leased": 0, "replica_served": 0, "reported": 0,
-                      "report_retries": 0, "reregistrations": 0}
+                      "report_retries": 0, "reregistrations": 0,
+                      "traces_prefetched": 0}
 
     # -- replica fetch ---------------------------------------------------------
 
@@ -163,12 +169,26 @@ class ClusterNode:
                      "node": self.node_id, "replica": True})
                 self._queue_completion(job, record)
                 continue
+            self._prefetch_trace(spec)
             pool_id = self.pool.submit(spec)
             self._inflight[pool_id] = job
             if self.pool.done(pool_id):
                 # Synchronous resolution (local store hit inside the
                 # pool, or serial fallback) — report right away.
                 self._finish(pool_id)
+
+    def _prefetch_trace(self, spec: JobSpec) -> None:
+        """Best-effort pull of the job's input trace from the
+        coordinator into the shared on-disk cache (verified container
+        bytes, never materialized here).  A miss means the first pool
+        worker generates locally, exactly as before."""
+        try:
+            before = self.traces.stats["fetched"]
+            self.traces.prefetch(spec.workload_profile(), spec.n_instrs)
+            if self.traces.stats["fetched"] > before:
+                self.stats["traces_prefetched"] += 1
+        except Exception:
+            pass  # malformed spec profile etc.: the worker will report
 
     def _queue_completion(self, job: dict, record: dict) -> None:
         self._outbox.append({

@@ -429,7 +429,8 @@ class SimulationPool:
     def stats_snapshot(self) -> dict:
         snapshot = dict(self.stats)
         snapshot["trace_evictions"] = sum(self._evictions_by_pid.values())
-        trace_store = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        trace_store = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+                       "fetched": 0, "quarantined": 0}
         for per_worker in self._trace_stats_by_pid.values():
             for name in trace_store:
                 trace_store[name] += per_worker.get(name, 0)

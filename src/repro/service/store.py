@@ -20,14 +20,20 @@ into a key and keeps one canonical JSON record per key on disk:
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.common.params import MemoryConfig
+from repro.engine.soatrace import (
+    TraceArrays,
+    TraceCodecError,
+    encode_trace,
+)
 from repro.obs.provenance import (
     config_hash,
     git_rev,
@@ -39,8 +45,14 @@ from repro.obs.provenance import (
 #: value treats the entry as a miss (never served across schema changes).
 STORE_SCHEMA = 1
 
-#: Version of the on-disk pickled-trace envelope (see :class:`TraceStore`).
+#: Version of the *legacy* pickled-trace envelope.  New trace entries are
+#: written as binary ``.rtr`` containers (see :class:`TraceStore`); this
+#: schema is still validated on read so existing caches keep working.
 TRACE_SCHEMA = 1
+
+#: ``format`` tag of a codec-encoded trace wire record (see
+#: :func:`trace_wire_record`).
+TRACE_WIRE_FORMAT = "rtr"
 
 
 def result_key(cfg, profile, n_instrs: int, warmup: int,
@@ -287,6 +299,46 @@ def trace_key(profile, n_instrs: int) -> str:
     return manifest_digest(identity)
 
 
+def trace_wire_record(key: str, trace: Union[List, bytes]) -> dict:
+    """JSON-safe store record carrying one codec-encoded trace.
+
+    Publishing this under ``key`` in a coordinator's :class:`ResultStore`
+    makes the trace fetchable through the ordinary cluster replica path:
+    :func:`verify_envelope` validates the wire envelope, and the embedded
+    binary container re-verifies its own sha256 *and* key on decode — two
+    independent integrity checks between the wire and the simulator.
+    ``trace`` may be the object stream or pre-encoded container bytes.
+    """
+    raw = trace if isinstance(trace, bytes) else encode_trace(trace, key)
+    return {"kind": "trace", "format": TRACE_WIRE_FORMAT,
+            "data": base64.b64encode(raw).decode("ascii")}
+
+
+def trace_container_from_wire(key: str, record) -> Optional[bytes]:
+    """Validated container bytes from one wire trace record, or None.
+
+    Rejects anything that is not a well-formed trace record whose
+    embedded container decodes cleanly *for this key* — a record renamed
+    onto the wrong key, a bit-flipped payload and a truncated base64
+    string all return None rather than raising.
+    """
+    if (not isinstance(record, dict) or record.get("kind") != "trace"
+            or record.get("format") != TRACE_WIRE_FORMAT):
+        return None
+    data = record.get("data")
+    if not isinstance(data, str):
+        return None
+    try:
+        raw = base64.b64decode(data.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError):
+        return None
+    try:
+        TraceArrays.decode(raw, key)
+    except TraceCodecError:
+        return None
+    return raw
+
+
 class TraceStore:
     """Content-addressed on-disk cache of generated synthetic traces.
 
@@ -294,33 +346,80 @@ class TraceStore:
     the single most expensive redundant step in a fleet, since every
     worker simulating a suite app pays full generation before its first
     cycle.  This store lets the first worker to generate a trace publish
-    it (pickled, atomically) for every other worker process.
+    it for every other worker process.
 
-    The write idiom matches :class:`ResultStore` — unique temp file +
+    Entries are binary ``.rtr`` containers (the
+    :mod:`~repro.engine.soatrace` codec: versioned header + typed columns
+    + embedded sha256) — arrays on the wire and on disk, not object
+    pickles.  Legacy pickled ``.pkl`` envelopes remain readable.  The
+    write idiom matches :class:`ResultStore` — unique temp file +
     ``os.replace`` — so concurrent writers of one key are idempotent and
-    readers never see a torn pickle.  Unlike result records, traces are
-    bulk regenerable data: a corrupt or mismatched entry is simply
-    deleted and counted, not quarantined.
+    readers never see a torn entry.  A corrupt binary entry is moved to
+    ``quarantine/`` (evidence, like result records); a corrupt legacy
+    pickle is deleted as before — both count as ``corrupt`` misses.
+
+    ``fetch`` (optional) turns the store into a pull-through replica of
+    a coordinator, mirroring :class:`~repro.service.cluster.replica.\
+ReplicaStore`: on a local miss it is called with the trace key and must
+    return the coordinator's wire envelope (``GET /results/<key>``) or
+    None; the envelope is validated with :func:`verify_envelope`, the
+    embedded container re-verified by the codec, and only then cached
+    locally — byte-identical to the authority's entry.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 fetch: Optional[Callable[[str], Optional[dict]]] = None,
+                 ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._fetch = fetch
         self.stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+            "fetched": 0, "quarantined": 0,
         }
 
     def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.rtr"
+
+    def _legacy_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, profile, n_instrs: int) -> Optional[List]:
-        """The cached trace for (profile, n_instrs), or None on a miss."""
-        key = trace_key(profile, n_instrs)
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt binary entry aside (never delete evidence)."""
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.stem}.{n}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass
+        self.stats["corrupt"] += 1
+        self.stats["quarantined"] += 1
+
+    # -- read ------------------------------------------------------------------
+
+    def _read_binary(self, key: str) -> Optional[List]:
         path = self._path(key)
         try:
             raw = path.read_bytes()
         except OSError:
-            self.stats["misses"] += 1
+            return None
+        try:
+            arrays = TraceArrays.decode(raw, key)
+        except TraceCodecError:
+            self._quarantine(path)
+            return None
+        return arrays.materialize()
+
+    def _read_legacy(self, key: str) -> Optional[List]:
+        path = self._legacy_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
             return None
         try:
             envelope = pickle.loads(raw)
@@ -335,25 +434,98 @@ class TraceStore:
             except OSError:
                 pass
             self.stats["corrupt"] += 1
+            return None
+        return envelope["trace"]
+
+    def _fetch_raw(self, key: str) -> Optional[bytes]:
+        """Fetch, verify and locally cache one entry's container bytes."""
+        envelope = self._fetch(key)
+        if envelope is None:
+            return None
+        record = verify_envelope(key, envelope)
+        if record is None:
+            return None
+        raw = trace_container_from_wire(key, record)
+        if raw is None:
+            return None
+        # The codec is deterministic, so caching the fetched bytes
+        # verbatim is exactly what a local re-encode would write.
+        self._write_raw(key, raw)
+        self.stats["fetched"] += 1
+        return raw
+
+    def _fetch_remote(self, key: str) -> Optional[List]:
+        raw = self._fetch_raw(key)
+        if raw is None:
+            return None
+        return TraceArrays.decode(raw, key).materialize()
+
+    def get(self, profile, n_instrs: int) -> Optional[List]:
+        """The cached trace for (profile, n_instrs), or None on a miss.
+
+        Read order: binary entry, legacy pickle, then the ``fetch`` hook
+        (when configured).  Corrupt entries never propagate — they are
+        quarantined/deleted and treated as misses.
+        """
+        key = trace_key(profile, n_instrs)
+        trace = self._read_binary(key)
+        if trace is None:
+            trace = self._read_legacy(key)
+        if trace is None and self._fetch is not None:
+            trace = self._fetch_remote(key)
+        if trace is None:
             self.stats["misses"] += 1
             return None
         self.stats["hits"] += 1
-        return envelope["trace"]
+        return trace
 
-    def put(self, profile, n_instrs: int, trace: List) -> Path:
-        """Atomically publish a freshly generated trace."""
+    def prefetch(self, profile, n_instrs: int) -> bool:
+        """Ensure the entry exists locally without materializing it.
+
+        A cluster node calls this when it leases a job: if the
+        coordinator has published the job's input trace, the verified
+        container lands in the shared on-disk cache before any pool
+        worker starts, so no worker pays generation.  Best-effort — a
+        False just means the first worker generates locally as usual.
+        """
         key = trace_key(profile, n_instrs)
+        if self._path(key).exists() or self._legacy_path(key).exists():
+            return True
+        if self._fetch is None:
+            return False
+        return self._fetch_raw(key) is not None
+
+    # -- write -----------------------------------------------------------------
+
+    def _write_raw(self, key: str, data: bytes) -> Path:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        envelope = {"schema": TRACE_SCHEMA, "key": key, "trace": trace}
         with open(tmp, "wb") as fh:
-            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(data)
         os.replace(tmp, path)
         self.stats["writes"] += 1
         return path
 
-    def _validate(self, path: Path) -> bool:
+    def put(self, profile, n_instrs: int, trace: List) -> Path:
+        """Atomically publish a freshly generated trace (binary codec)."""
+        key = trace_key(profile, n_instrs)
+        return self._write_raw(key, encode_trace(trace, key))
+
+    def wire_record(self, profile, n_instrs: int) -> Optional[dict]:
+        """The stored entry as a wire record (what a coordinator would
+        publish in its result store for replicas to fetch), or None."""
+        key = trace_key(profile, n_instrs)
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        return trace_wire_record(key, raw)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _validate_legacy(self, path: Path) -> bool:
         key = path.stem
         try:
             envelope = pickle.loads(path.read_bytes())
@@ -365,18 +537,30 @@ class TraceStore:
                 and isinstance(envelope.get("trace"), list))
 
     def scrub(self) -> dict:
-        """Integrity walk: validate every pickled trace envelope.
+        """Integrity walk: validate every trace entry.
 
-        Traces are bulk regenerable, so a corrupt entry is deleted (and
-        counted), not quarantined — the next worker regenerates it.
+        Binary containers are re-verified through the codec and
+        quarantined on mismatch; legacy pickles are validated as before
+        and deleted when corrupt (bulk regenerable data).
         """
-        report = {"checked": 0, "ok": 0, "deleted": 0}
+        report = {"checked": 0, "ok": 0, "deleted": 0, "quarantined": 0}
         for shard in self.root.iterdir():
-            if not shard.is_dir():
+            if shard.name == "quarantine" or not shard.is_dir():
                 continue
+            for path in list(shard.glob("*.rtr")):
+                report["checked"] += 1
+                try:
+                    TraceArrays.decode(path.read_bytes(), path.stem)
+                except TraceCodecError:
+                    self._quarantine(path)
+                    report["quarantined"] += 1
+                except OSError:
+                    continue  # raced with eviction: nothing to verify
+                else:
+                    report["ok"] += 1
             for path in list(shard.glob("*.pkl")):
                 report["checked"] += 1
-                if self._validate(path):
+                if self._validate_legacy(path):
                     report["ok"] += 1
                     continue
                 try:

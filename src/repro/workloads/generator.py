@@ -94,38 +94,50 @@ class WorkloadProfile:
                 f"{self.name}: stream/random/chase fractions must sum to 1")
 
 
-@dataclass
+# Hand-rolled __slots__ (not @dataclass(slots=True), which needs 3.10):
+# these three are read on every generated instruction, so they stay
+# __dict__-free like DynInst/InflightInst — pinned by the slots test.
 class _MemStream:
-    kind: str
-    base: int
-    span: int            # bytes
-    stride: int = 64
-    addr: int = 0
-    hot: list = field(default_factory=list)  # recently-touched addresses
+    __slots__ = ("kind", "base", "span", "stride", "addr", "hot")
+
+    def __init__(self, kind: str, base: int, span: int,
+                 stride: int = 64, addr: int = 0) -> None:
+        self.kind = kind
+        self.base = base
+        self.span = span            # bytes
+        self.stride = stride
+        self.addr = addr
+        self.hot: list = []         # recently-touched addresses
 
 
-@dataclass
 class _Slot:
     """One static micro-op slot inside a block."""
 
-    pc: int
-    op: OpClass
-    dst: Optional[int] = None
-    srcs: tuple = ()
-    stream: Optional[int] = None     # memory stream index
-    alias_store: bool = False        # store opening an alias pair
-    alias_of: Optional[int] = None   # slot index (within block) of paired store
+    __slots__ = ("pc", "op", "dst", "srcs", "stream", "alias_store",
+                 "alias_of")
+
+    def __init__(self, pc: int, op: OpClass) -> None:
+        self.pc = pc
+        self.op = op
+        self.dst: Optional[int] = None
+        self.srcs: tuple = ()
+        self.stream: Optional[int] = None  # memory stream index
+        self.alias_store = False           # store opening an alias pair
+        self.alias_of: Optional[int] = None  # paired store's slot index
 
 
-@dataclass
 class _Block:
-    pc: int
-    slots: List[_Slot] = field(default_factory=list)
-    branch_pc: int = 0
-    br_kind: str = BR_BIASED
-    loop_reps: int = 1
-    pattern_phase: int = 0
-    next_pc: int = 0                 # fall-through target (next block)
+    __slots__ = ("pc", "slots", "branch_pc", "br_kind", "loop_reps",
+                 "pattern_phase", "next_pc")
+
+    def __init__(self, pc: int) -> None:
+        self.pc = pc
+        self.slots: List[_Slot] = []
+        self.branch_pc = 0
+        self.br_kind = BR_BIASED
+        self.loop_reps = 1
+        self.pattern_phase = 0
+        self.next_pc = 0            # fall-through target (next block)
 
 
 class SyntheticWorkload:

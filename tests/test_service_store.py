@@ -181,7 +181,8 @@ class TestTraceStore:
         cached = build_core(cfg).run(served, warmup=300)
         assert counter_digest(fresh) == counter_digest(cached)
         assert store.stats_snapshot() == {
-            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0,
+            "fetched": 0, "quarantined": 0}
 
     def test_key_sensitive_to_identity(self, tmp_path):
         from repro.service.store import trace_key
